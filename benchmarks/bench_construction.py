@@ -1,0 +1,44 @@
+"""Bench: Theorem 6 / Figure 6 — realizing all k! permutations.
+
+The construction places k sites in (k-1)-dimensional L_p space so that
+every permutation has a witness near the origin.  The bench verifies all
+k! permutations are realized for each metric and benchmarks the witness
+search.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import write_result
+
+from repro.core.constructions import theorem6_sites, theorem6_witnesses
+
+
+def test_all_factorial_permutations_realized(benchmark, results_dir):
+    def run():
+        realized = {}
+        for p in (1, 2, math.inf):
+            for k in (2, 3, 4, 5):
+                realized[(p, k)] = len(theorem6_witnesses(k, p=p))
+        return realized
+
+    realized = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Theorem 6 witnesses realized (p, k, count, k!):"]
+    for (p, k), count in realized.items():
+        assert count == math.factorial(k), (p, k)
+        name = "inf" if p == math.inf else str(p)
+        lines.append(f"  p={name:>3}  k={k}  {count:>4} = {k}!")
+    write_result(results_dir, "construction_theorem6", "\n".join(lines))
+
+
+def test_construction_k6_euclidean(benchmark):
+    witnesses = benchmark.pedantic(
+        lambda: theorem6_witnesses(6, p=2), rounds=1, iterations=1
+    )
+    assert len(witnesses) == 720
+
+
+def test_site_generation_speed(benchmark):
+    sites = benchmark(lambda: theorem6_sites(12))
+    assert sites.shape == (12, 11)

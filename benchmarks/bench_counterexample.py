@@ -1,0 +1,97 @@
+"""Bench: the Section 5 counterexample — L1 beats the Euclidean limit.
+
+The paper's Eq. 12 sites in 3-d L1 space yield 108 distinct permutations
+from a 10^6-point uniform database, exceeding N_{3,2}(5) = 96 and refuting
+``N_{d,p}(k) = N_{d,2}(k)``.  The census is re-run with the exact sites;
+the random search that found such configurations is exercised for the
+paper's other reported case (3-d L∞, k = 5).
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import write_result
+
+from repro.experiments.counterexample import (
+    FOUND_LINF_COUNTEREXAMPLE_SITES,
+    PAPER_COUNTEREXAMPLE_SITES,
+    counterexample_census,
+    search_counterexamples,
+)
+
+
+def test_eq12_sites_exceed_euclidean_limit(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: counterexample_census(n_points=1_000_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.euclidean_limit == 96
+    assert result.observed > 96
+    # The paper observed 108; our database differs, but the count must be
+    # in the same narrow band (the cell census is what it is).
+    assert 100 <= result.observed <= 120
+
+    write_result(
+        results_dir,
+        "counterexample",
+        "\n".join(
+            [
+                "Eq. 12 sites, 3-d L1, 10^6 uniform points:",
+                f"  observed permutations: {result.observed} (paper: 108)",
+                f"  Euclidean limit N_3,2(5): {result.euclidean_limit}",
+                f"  exceeds limit: {result.exceeds}",
+            ]
+        ),
+    )
+
+
+def test_same_sites_respect_euclidean_limit_under_l2(benchmark):
+    """Control: under L2 the same sites stay within Theorem 7's bound."""
+    result = benchmark.pedantic(
+        lambda: counterexample_census(
+            PAPER_COUNTEREXAMPLE_SITES, p=2.0, n_points=500_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.observed <= 96
+
+
+def test_linf_counterexample_sites_exceed_limit(benchmark, results_dir):
+    """The paper also reports counterexamples for 3-d L∞ with k = 5.
+    The sites below were found by our random search (seed 123); the bench
+    re-verifies them with a larger census."""
+    result = benchmark.pedantic(
+        lambda: counterexample_census(
+            FOUND_LINF_COUNTEREXAMPLE_SITES, p=math.inf, n_points=500_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.observed > 96
+    lines = [
+        "3-d Linf k=5 counterexample (found by search_counterexamples, "
+        "seed 123, 2/60 draws succeeded):",
+        f"  observed: {result.observed} > N_3,2(5) = 96",
+        "  sites:",
+    ]
+    for row in FOUND_LINF_COUNTEREXAMPLE_SITES:
+        lines.append("    " + " ".join(f"{v:.6f}" for v in row))
+    write_result(results_dir, "counterexample_linf", "\n".join(lines))
+
+
+def test_search_machinery_reports_only_exceeding_configs(benchmark):
+    """Short search run: every returned configuration must truly exceed
+    the limit (success count itself varies with the draw)."""
+    successes = benchmark.pedantic(
+        lambda: search_counterexamples(
+            d=3, k=5, p=1.0, n_trials=8, n_points=100_000, seed=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for result, sites in successes:
+        assert result.exceeds
+        assert sites.shape == (5, 3)

@@ -1,0 +1,40 @@
+"""Bench: Figure 7 — range-limited databases never hit every cell.
+
+"Some cells of the generalised Voronoi diagram may not happen to contain
+any database points ... other cells may lie entirely outside the range of
+database values.  Those permutations will never appear no matter how large
+the database grows."
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.figures import cells_hit_experiment
+
+
+def test_fig7_cells_hit_saturates_below_space(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: cells_hit_experiment(sizes=(10, 100, 1000, 10_000, 50_000)),
+        rounds=1,
+        iterations=1,
+    )
+    # Cells realizable anywhere in the plane vs inside the data box.
+    assert result.realizable_in_box < result.realizable_in_space
+
+    sizes = sorted(result.hits_by_size)
+    hits = [result.hits_by_size[s] for s in sizes]
+    # Growth is monotone and saturates at the box count, never the space
+    # count: the cross-hatched cells of Fig 7 stay unreachable.
+    assert hits == sorted(hits)
+    assert hits[-1] == result.realizable_in_box
+    assert hits[0] < result.realizable_in_box
+
+    lines = [
+        "Figure 7: distinct permutations realized by boxed databases",
+        f"  realizable anywhere in the plane: {result.realizable_in_space}",
+        f"  realizable inside the data box:   {result.realizable_in_box}",
+    ]
+    for size in sizes:
+        lines.append(f"  database size {size:>7}: {result.hits_by_size[size]}")
+    write_result(results_dir, "figure7", "\n".join(lines))

@@ -1,0 +1,93 @@
+"""Bench: Figures 1-4 — Voronoi diagrams and bisector cell counts.
+
+Fig 1: first-order Euclidean Voronoi diagram of 4 sites -> 4 cells.
+Fig 2: second-order diagram refines it.
+Fig 3: the full bisector system yields exactly 18 cells (= N_{2,2}(4)),
+       fewer than both 2^6 sign patterns and 4! = 24 permutations.
+Fig 4: the L1 bisector system also yields 18 cells, but a different
+       permutation set.
+
+Also serves as the engine ablation: the metric-agnostic grid census must
+agree with the exact LP census on the Euclidean plane.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.counting import euclidean_permutation_count
+from repro.core.voronoi import (
+    count_euclidean_cells_exact,
+    realized_permutations_euclidean_exact,
+)
+from repro.experiments.figures import figure_cell_counts, paperlike_sites
+
+
+def test_figures_1_through_4(benchmark, results_dir):
+    counts = benchmark.pedantic(
+        lambda: figure_cell_counts(resolution=512),
+        rounds=1,
+        iterations=1,
+    )
+    # Fig 1: one cell per site.
+    assert counts["order1_cells"] == 4
+    # Fig 2: refinement.
+    assert counts["order2_cells"] >= counts["order1_cells"]
+    # Fig 3: 18 cells, matching Theorem 7, below 2^6 = 64 and 4! = 24.
+    assert counts["l2_cells_exact"] == 18 == euclidean_permutation_count(2, 4)
+    assert counts["l2_cells_grid"] == 18
+    # Fig 4: L1 also 18 cells but a different permutation set.
+    assert counts["l1_cells_grid"] == 18
+    assert counts["l1_only"] and counts["l2_only"]
+
+    lines = [
+        "figure reproductions (4 sites in the unit square, seed 32):",
+        f"  Fig 1 order-1 Voronoi cells (L2): {counts['order1_cells']} (paper: 4)",
+        f"  Fig 2 order-2 Voronoi cells (L2): {counts['order2_cells']}",
+        f"  Fig 3 bisector cells L2 exact:    {counts['l2_cells_exact']} (paper: 18)",
+        f"  Fig 3 bisector cells L2 grid:     {counts['l2_cells_grid']}",
+        f"  Fig 4 bisector cells L1 grid:     {counts['l1_cells_grid']} (paper: 18)",
+        f"  permutations only in L1 diagram:  {len(counts['l1_only'])}",
+        f"  permutations only in L2 diagram:  {len(counts['l2_only'])}",
+    ]
+    write_result(results_dir, "figures_1_4", "\n".join(lines))
+
+
+def test_exact_lp_census_speed(benchmark):
+    """Benchmark the 24-LP exact census of Figure 3."""
+    sites = paperlike_sites()
+    count = benchmark(lambda: count_euclidean_cells_exact(sites))
+    assert count == 18
+
+
+def test_engine_ablation_grid_vs_exact(benchmark, results_dir):
+    """Ablation: grid census agrees with the exact LP census across many
+    random 4-site layouts (grid can only undercount, and rarely does at
+    this resolution)."""
+    import numpy as np
+
+    from repro.core.voronoi import realized_permutations_grid
+    from repro.metrics.minkowski import EuclideanDistance
+
+    def run():
+        agreements = 0
+        total = 0
+        metric = EuclideanDistance()
+        for seed in range(10):
+            sites = np.random.default_rng(seed).random((4, 2))
+            exact = realized_permutations_euclidean_exact(sites)
+            grid = realized_permutations_grid(
+                sites, metric, resolution=512, max_refinements=2, margin=4.0
+            )
+            assert grid <= exact
+            agreements += grid == exact
+            total += 1
+        return agreements, total
+
+    agreements, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert agreements >= 8  # grid engine resolves almost all layouts
+    write_result(
+        results_dir,
+        "ablation_grid_vs_exact",
+        f"grid census == exact LP census on {agreements}/{total} random layouts",
+    )

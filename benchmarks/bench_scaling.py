@@ -1,0 +1,94 @@
+"""Bench: census convergence with database size (Section 5's confound).
+
+The paper discounts k = 12 counts "limited by the number of points in the
+database"; this bench measures the effect directly: nested uniform
+databases converge monotonically toward the realizable count, and the
+Chao1 extrapolation anticipates the limit from smaller samples.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.experiments.scaling import census_scaling
+
+
+def test_census_converges_with_database_size(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: census_scaling(
+            d=2, k=6, sizes=(100, 1000, 10_000, 100_000, 400_000), seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sizes = sorted(result.observed)
+    counts = [result.observed[s] for s in sizes]
+    # Monotone growth, bounded by the Theorem 7 maximum.
+    assert counts == sorted(counts)
+    assert counts[-1] <= result.theoretical_max
+    # 2-d, k=6: N = 101; a 400k-point database essentially fills the
+    # realizable cells of the unit square (some cells lie outside it,
+    # Figure 7, so 100% is not guaranteed).
+    assert result.final_fraction > 0.55
+    # Small samples undercount noticeably.
+    assert counts[0] < 0.7 * counts[-1]
+
+    lines = [
+        f"census vs database size (d=2, k=6, L2; N_2,2(6) = "
+        f"{result.theoretical_max}):",
+        f"  {'size':>8} {'observed':>9} {'chao1':>9}",
+    ]
+    for size in sizes:
+        lines.append(
+            f"  {size:>8} {result.observed[size]:>9} "
+            f"{result.chao1[size]:>9.1f}"
+        )
+    write_result(results_dir, "scaling_census", "\n".join(lines))
+
+
+def test_chao1_anticipates_larger_sample(benchmark):
+    """At every stage, Chao1 from the current sample should not be below
+    the raw count, and mid-course it should land closer to the next
+    stage's observed census than the raw count does."""
+    result = benchmark.pedantic(
+        lambda: census_scaling(
+            d=3, k=5, sizes=(500, 5_000, 50_000), seed=11
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sizes = sorted(result.observed)
+    for size in sizes:
+        assert result.chao1[size] >= result.observed[size]
+    mid, large = sizes[1], sizes[2]
+    truth = result.observed[large]
+    raw_gap = abs(truth - result.observed[mid])
+    chao_gap = abs(truth - result.chao1[mid])
+    assert chao_gap <= raw_gap
+
+
+def test_higher_dimension_needs_more_points(benchmark, results_dir):
+    """The saturation size grows with dimension: at equal sizes a 5-d
+    database is farther from its (much larger) ceiling than a 2-d one."""
+
+    def run():
+        return {
+            d: census_scaling(d=d, k=6, sizes=(1000, 30_000), seed=7)
+            for d in (2, 5)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    fraction_2d = results[2].observed[30_000] / results[2].theoretical_max
+    fraction_5d = results[5].observed[30_000] / results[5].theoretical_max
+    assert fraction_5d < fraction_2d
+    write_result(
+        results_dir,
+        "scaling_dimension",
+        "\n".join(
+            [
+                "fraction of N_{d,2}(6) realized by 30k uniform points:",
+                f"  d=2: {fraction_2d:.3f} of {results[2].theoretical_max}",
+                f"  d=5: {fraction_5d:.3f} of {results[5].theoretical_max}",
+            ]
+        ),
+    )

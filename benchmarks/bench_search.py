@@ -1,0 +1,188 @@
+"""Bench: search-cost context (Section 1) — distance evaluations per query.
+
+Not a paper table, but the motivating comparison: AESA's near-constant
+query cost at quadratic storage, LAESA's pivot table, the permutation
+index's approximate search at a fraction of both storages, and the classic
+trees.  Also regenerates the permutation index's recall-versus-budget
+trade-off, the regime in which Chávez et al. report it "comparable to
+LAESA, while consuming much less storage space".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.datasets.dictionaries import synthetic_dictionary
+from repro.datasets.vectors import uniform_vectors
+from repro.index import (
+    AESA,
+    BKTree,
+    DistPermIndex,
+    GHTree,
+    IAESA,
+    LinearScan,
+    ListOfClusters,
+    PivotIndex,
+    VPTree,
+)
+from repro.metrics import EuclideanDistance, LevenshteinDistance
+
+N_POINTS = 2000
+N_QUERIES = 25
+DIM = 4
+
+
+def _database():
+    rng = np.random.default_rng(17)
+    return uniform_vectors(N_POINTS, DIM, rng), rng.random((N_QUERIES, DIM))
+
+
+def test_knn_cost_comparison(benchmark, results_dir):
+    def run():
+        points, queries = _database()
+        metric = EuclideanDistance()
+        indexes = {
+            "linear": LinearScan(points, metric),
+            "vptree": VPTree(points, metric, rng=np.random.default_rng(1)),
+            "ghtree": GHTree(points, metric, rng=np.random.default_rng(2)),
+            "laesa-16": PivotIndex(points, metric, n_pivots=16,
+                                   rng=np.random.default_rng(3)),
+            "aesa": AESA(points, metric),
+            "iaesa": IAESA(points, metric),
+            "loc-16": ListOfClusters(points, metric, bucket_size=16,
+                                     rng=np.random.default_rng(6)),
+        }
+        costs = {}
+        for name, index in indexes.items():
+            index.reset_stats()
+            for query in queries:
+                index.knn_query(query, 5)
+            costs[name] = index.stats.distances_per_query
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The literature's pecking order on low-dimensional vectors.
+    assert costs["aesa"] < costs["laesa-16"] < costs["linear"]
+    assert costs["iaesa"] < costs["laesa-16"]
+    assert costs["vptree"] < costs["linear"]
+    lines = [f"5-NN cost, n={N_POINTS}, d={DIM}, {N_QUERIES} queries "
+             "(distance evaluations per query):"]
+    for name, cost in sorted(costs.items(), key=lambda item: item[1]):
+        lines.append(f"  {name:>9}: {cost:10.1f}")
+    write_result(results_dir, "search_knn_costs", "\n".join(lines))
+
+
+def test_distperm_recall_budget_curve(benchmark, results_dir):
+    """Recall of the permutation index against evaluation budget."""
+
+    def run():
+        points, queries = _database()
+        metric = EuclideanDistance()
+        oracle = LinearScan(points, metric)
+        index = DistPermIndex(points, metric, n_sites=16,
+                              rng=np.random.default_rng(4))
+        truth = {
+            tuple(query): {n.index for n in oracle.knn_query(query, 10)}
+            for query in queries
+        }
+        curve = {}
+        for budget in (25, 50, 100, 200, 400, 800):
+            hits = 0
+            for query in queries:
+                found = {
+                    n.index
+                    for n in index.knn_approx(query, 10, budget=budget)
+                }
+                hits += len(found & truth[tuple(query)])
+            curve[budget] = hits / (10 * len(queries))
+        return curve
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    budgets = sorted(curve)
+    recalls = [curve[b] for b in budgets]
+    assert all(
+        later >= earlier - 0.02
+        for earlier, later in zip(recalls, recalls[1:])
+    )
+    assert recalls[-1] >= 0.95
+    assert curve[100] >= 0.6  # 5% of the database already gives good recall
+    lines = ["distperm 10-NN recall vs evaluation budget "
+             f"(n={N_POINTS}, k=16 sites):"]
+    for budget in budgets:
+        lines.append(f"  budget {budget:>4} ({100 * budget / N_POINTS:4.1f}%"
+                     f" of db): recall {curve[budget]:.3f}")
+    write_result(results_dir, "search_recall_budget", "\n".join(lines))
+
+
+def test_range_query_cost(benchmark, results_dir):
+    def run():
+        points, queries = _database()
+        metric = EuclideanDistance()
+        indexes = {
+            "linear": LinearScan(points, metric),
+            "laesa-16": PivotIndex(points, metric, n_pivots=16,
+                                   rng=np.random.default_rng(5)),
+            "aesa": AESA(points, metric),
+        }
+        costs = {}
+        for name, index in indexes.items():
+            index.reset_stats()
+            for query in queries:
+                index.range_query(query, 0.15)
+            costs[name] = index.stats.distances_per_query
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert costs["aesa"] < costs["laesa-16"] < costs["linear"]
+    lines = ["range query (r = 0.15) cost (distance evaluations per query):"]
+    for name, cost in sorted(costs.items(), key=lambda item: item[1]):
+        lines.append(f"  {name:>9}: {cost:10.1f}")
+    write_result(results_dir, "search_range_costs", "\n".join(lines))
+
+
+def test_dictionary_workload_cost(benchmark, results_dir):
+    """The Table 2 workload as a search problem: edit-distance range
+    queries (spelling correction) over a synthetic dictionary."""
+
+    def run():
+        words = synthetic_dictionary("English", 1500,
+                                     np.random.default_rng(20))
+        metric = LevenshteinDistance()
+        rng = np.random.default_rng(21)
+        queries = [
+            word[:-1] + "x" for word in rng.choice(words, size=15,
+                                                   replace=False)
+        ]
+        indexes = {
+            "linear": LinearScan(words, metric),
+            "bktree": BKTree(words, metric),
+            "laesa-8": PivotIndex(words, metric, n_pivots=8,
+                                  rng=np.random.default_rng(22)),
+            "loc-16": ListOfClusters(words, metric, bucket_size=16,
+                                     rng=np.random.default_rng(23)),
+        }
+        costs = {}
+        answers = {}
+        for name, index in indexes.items():
+            index.reset_stats()
+            results = []
+            for query in queries:
+                results.append(
+                    tuple(sorted((n.index, n.distance)
+                                 for n in index.range_query(query, 2)))
+                )
+            costs[name] = index.stats.distances_per_query
+            answers[name] = tuple(results)
+        return costs, answers
+
+    costs, answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    # All indexes exact: identical answer sets.
+    assert len(set(answers.values())) == 1
+    # The discrete-metric specialist beats the linear scan.
+    assert costs["bktree"] < costs["linear"]
+    lines = ["dictionary range queries (radius 2, edit distance), "
+             "evaluations per query:"]
+    for name, cost in sorted(costs.items(), key=lambda item: item[1]):
+        lines.append(f"  {name:>9}: {cost:10.1f}")
+    write_result(results_dir, "search_dictionary_costs", "\n".join(lines))

@@ -1,0 +1,126 @@
+"""Bench: Corollary 8's storage claim — the paper's practical payoff.
+
+Measured index sizes for one database across encodings:
+
+- LAESA: k distances/element, ``O(k log n)`` bits;
+- naive permutation: ``ceil(log2 k!)`` bits/element (Chávez et al.);
+- permutation table: ``ceil(log2 N_realized)`` bits/element + table
+  overhead — ``Θ(d log k)`` in Euclidean space by Theorem 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.core.storage import bits_for_count, bits_full_permutation
+from repro.datasets.sisap import load_database
+from repro.datasets.vectors import uniform_vectors
+from repro.index import DistPermIndex
+from repro.metrics import EuclideanDistance
+
+
+def test_storage_comparison_across_databases(benchmark, results_dir):
+    def run():
+        reports = {}
+        for name in ("colors", "nasa", "long"):
+            database = load_database(name)
+            index = DistPermIndex(
+                database.points, database.metric, n_sites=12,
+                rng=np.random.default_rng(0),
+            )
+            reports[name] = index.storage()
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["storage per database, k = 12 sites (bits):"]
+    for name, report in reports.items():
+        # Per-element ordering holds universally: table <= naive < LAESA.
+        assert report.bits_permutation_table <= report.bits_naive_permutation
+        assert report.bits_naive_permutation < report.bits_laesa
+        lines.append(f"  {name:>8}: {report.as_row()}")
+        lines.append(
+            f"  {'':>8}  per-element bits: LAESA={report.bits_laesa} "
+            f"naive={report.bits_naive_permutation} "
+            f"table={report.bits_permutation_table}"
+        )
+    # The *total* table-encoding win needs n large relative to the number
+    # of realized permutations ("When the number of points in the database
+    # is large in comparison to the number of permutations, the bound can
+    # be achieved simply by storing the full permutations in a separate
+    # table"): that regime holds for the low-dimensional families.
+    for name in ("colors", "long"):
+        report = reports[name]
+        assert report.total_table < report.total_naive < report.total_laesa, name
+    lines.append(
+        "total-win regime (perms << n) verified for colors and long; nasa's"
+    )
+    lines.append(
+        "census is ~n at analogue scale, where the paper notes 'a more"
+        " sophisticated structure may be possible'."
+    )
+    write_result(results_dir, "storage_comparison", "\n".join(lines))
+
+
+def test_storage_bits_scale_with_dimension_not_k(benchmark, results_dir):
+    """Theta(d log k): doubling k barely moves the per-element bits once
+    k >> d, while raising d moves them linearly."""
+
+    def run():
+        metric = EuclideanDistance()
+        bits = {}
+        rng = np.random.default_rng(1)
+        for d in (2, 4):
+            points = uniform_vectors(30_000, d, rng)
+            for k in (8, 16):
+                index = DistPermIndex(
+                    points, metric, n_sites=k, rng=np.random.default_rng(d * k)
+                )
+                bits[(d, k)] = index.storage().bits_permutation_table
+        return bits
+
+    bits = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Doubling k at fixed d: small increase (≈ 2d log2(2) = 2d bits).
+    growth_k = bits[(2, 16)] - bits[(2, 8)]
+    # Doubling d at fixed k: larger increase.
+    growth_d = bits[(4, 8)] - bits[(2, 8)]
+    assert growth_k <= 2 * 2 + 2  # ~2d bits plus slack
+    assert growth_d >= growth_k
+    lines = ["measured bits/element (d, k):"]
+    for (d, k), value in bits.items():
+        lines.append(
+            f"  d={d} k={k:>2}: {value} bits"
+            f" (naive permutation: {bits_full_permutation(k)})"
+        )
+    lines.append(f"growth from k 8->16 at d=2: {growth_k} bits")
+    lines.append(f"growth from d 2->4 at k=8:  {growth_d} bits")
+    write_result(results_dir, "storage_scaling", "\n".join(lines))
+
+
+def test_paper_headline_storage_reduction(benchmark, results_dir):
+    """The claimed reduction O(nk log n) -> O(nk log k) -> Θ(nd log k),
+    instantiated for n = 10^6, k = 12, d = 4."""
+
+    def run():
+        n, k, d = 10**6, 12, 4
+        laesa = n * k * bits_for_count(n)
+        naive = n * bits_full_permutation(k)
+        from repro.core.counting import euclidean_permutation_count
+
+        table = n * bits_for_count(euclidean_permutation_count(d, k))
+        return laesa, naive, table
+
+    laesa, naive, table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert table < naive < laesa
+    write_result(
+        results_dir,
+        "storage_headline",
+        "\n".join(
+            [
+                "n=10^6, k=12, d=4 (bits, ignoring table overhead):",
+                f"  LAESA distances   : {laesa:>12}  (k ceil(log2 n) = 240 /elt)",
+                f"  naive permutation : {naive:>12}  (ceil(log2 12!) =  29 /elt)",
+                f"  permutation table : {table:>12}  (ceil(log2 N_4,2(12)) = 19 /elt)",
+            ]
+        ),
+    )

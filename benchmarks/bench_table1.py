@@ -1,0 +1,49 @@
+"""Bench: regenerate Table 1 — exact ``N_{d,2}(k)`` for Euclidean space.
+
+Pure combinatorics, so the reproduction must match the paper entry for
+entry; the benchmark measures the recurrence evaluation itself.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.counting import (
+    PAPER_TABLE1,
+    euclidean_permutation_count,
+    euclidean_table,
+)
+from repro.experiments.table1 import format_table1, generate_table1
+
+
+def test_table1_regenerates_paper_exactly(benchmark, results_dir):
+    table = benchmark(generate_table1)
+    assert table == PAPER_TABLE1, "Table 1 must match the paper exactly"
+    write_result(results_dir, "table1", format_table1())
+
+
+def test_table1_recurrence_speed_large_arguments(benchmark):
+    """The memoized recurrence handles far larger arguments than Table 1."""
+
+    def compute():
+        euclidean_permutation_count.cache_clear()
+        return euclidean_permutation_count(25, 60)
+
+    value = benchmark(compute)
+    assert value > 0
+    # Sanity: still bounded by k^(2d).
+    assert value <= 60 ** (2 * 25)
+
+
+def test_table1_extended_rows(benchmark, results_dir):
+    """Extend the table beyond the paper (d, k up to 16) as a capability
+    demonstration; values must stay monotone."""
+    table = benchmark(
+        lambda: euclidean_table(dims=range(1, 17), ks=range(2, 17))
+    )
+    for d in range(1, 16):
+        for k in range(2, 17):
+            assert table[d][k] <= table[d + 1][k]
+    lines = ["extended N_{d,2}(k): d=1..16, k=2..16 (monotone verified)"]
+    lines.append(f"N_16,2(16) = {table[16][16]}")
+    write_result(results_dir, "table1_extended", "\n".join(lines))

@@ -1,0 +1,81 @@
+"""Bench: Theorem 4 / Corollary 5 / Figure 5 — tree metrics.
+
+- random trees never exceed ``C(k,2) + 1`` distance permutations;
+- the Corollary 5 path construction achieves the bound exactly for every k;
+- the prefix metric (Fig 5) is a tree metric realizing the same bound on
+  string data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import write_result
+
+from repro.core.constructions import corollary5_path_space
+from repro.core.counting import tree_permutation_bound
+from repro.core.permutation import (
+    count_distinct_permutations,
+    distance_permutations,
+)
+from repro.metrics import PrefixDistance, random_tree_metric
+
+
+def test_corollary5_achieves_bound_for_all_k(benchmark, results_dir):
+    def run():
+        achieved = {}
+        for k in range(2, 11):
+            metric, sites = corollary5_path_space(k)
+            perms = distance_permutations(metric.vertices, sites, metric)
+            achieved[k] = count_distinct_permutations(perms)
+        return achieved
+
+    achieved = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Corollary 5 path construction: k, C(k,2)+1, achieved"]
+    for k, count in achieved.items():
+        bound = tree_permutation_bound(k)
+        assert count == bound, (k, count, bound)
+        lines.append(f"  k={k:>2}  bound={bound:>3}  achieved={count:>3}")
+    write_result(results_dir, "tree_corollary5", "\n".join(lines))
+
+
+def test_random_trees_respect_theorem4(benchmark):
+    def run():
+        rng = np.random.default_rng(5)
+        worst_ratio = 0.0
+        for trial in range(20):
+            n = int(rng.integers(50, 400))
+            tree = random_tree_metric(n, rng=rng, weighted=bool(trial % 2))
+            k = int(rng.integers(2, 8))
+            sites = [int(i) for i in rng.choice(n, size=k, replace=False)]
+            perms = distance_permutations(tree.vertices, sites, tree)
+            count = count_distinct_permutations(perms)
+            bound = tree_permutation_bound(k)
+            assert count <= bound
+            worst_ratio = max(worst_ratio, count / bound)
+        return worst_ratio
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 0 < worst <= 1.0
+
+
+def test_prefix_metric_achieves_bound(benchmark, results_dir):
+    """Fig 5's prefix metric: binary-counter strings embed the Corollary 5
+    path, so the bound is achieved on actual string data."""
+
+    def run():
+        k = 6
+        # Strings "", "a", "aa", ... embed a path of 2^(k-1) equal edges.
+        path_strings = ["a" * i for i in range(2 ** (k - 1) + 1)]
+        site_labels = [0] + [2**i for i in range(1, k)]
+        sites = [path_strings[label] for label in site_labels]
+        perms = distance_permutations(path_strings, sites, PrefixDistance())
+        return k, count_distinct_permutations(perms)
+
+    k, count = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert count == tree_permutation_bound(k)
+    write_result(
+        results_dir,
+        "tree_prefix_metric",
+        f"prefix metric, k={k} sites on an 'aaaa...' path: "
+        f"{count} permutations = C({k},2)+1 = {tree_permutation_bound(k)}",
+    )

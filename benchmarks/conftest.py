@@ -1,0 +1,23 @@
+"""Shared benchmark helpers: result capture and paper-versus-measured output."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where every bench writes its regenerated table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table and echo it for the bench log."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {name} ===\n{text}\n")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Tree metrics and the C(k,2)+1 bound (Section 3, Figure 5).
+
+Shows the prefix metric on call-number-like strings, verifies Theorem 4's
+bound on random trees, and reproduces the Corollary 5 construction that
+makes the bound tight.
+
+Run:  python examples/tree_metrics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    corollary5_path_space,
+    count_distinct_permutations,
+    distance_permutations,
+    tree_permutation_bound,
+)
+from repro.metrics import PrefixDistance, random_tree_metric
+
+
+def main() -> None:
+    # Fig 5: the prefix metric is a tree metric on strings.
+    metric = PrefixDistance()
+    books = ["QA76", "QA76.9", "QA76.73", "QA9", "PS35", "PS3545"]
+    print("prefix distances between call-number-like strings:")
+    for a in books:
+        row = " ".join(f"{metric.distance(a, b):4.0f}" for b in books)
+        print(f"  {a:>8}: {row}")
+
+    # Theorem 4: random trees never exceed C(k,2) + 1 permutations.
+    print("\nTheorem 4 on random trees (k sites -> count <= C(k,2)+1):")
+    rng = np.random.default_rng(0)
+    for k in (3, 5, 7):
+        tree = random_tree_metric(300, rng=rng, weighted=True)
+        sites = [int(i) for i in rng.choice(300, size=k, replace=False)]
+        perms = distance_permutations(tree.vertices, sites, tree)
+        count = count_distinct_permutations(perms)
+        print(f"  k={k}: observed {count:>3} <= bound {tree_permutation_bound(k)}")
+
+    # Corollary 5: the path construction achieves the bound exactly.
+    print("\nCorollary 5 path construction (sites at 0, 2, 4, 8, ...):")
+    for k in (3, 5, 7, 9):
+        path_metric, sites = corollary5_path_space(k)
+        perms = distance_permutations(path_metric.vertices, sites, path_metric)
+        count = count_distinct_permutations(perms)
+        bound = tree_permutation_bound(k)
+        marker = "==" if count == bound else "!="
+        print(f"  k={k}: achieved {count:>3} {marker} bound {bound:>3} "
+              f"(path of {2 ** (k - 1)} edges)")
+
+
+if __name__ == "__main__":
+    main()

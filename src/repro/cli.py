@@ -1,0 +1,232 @@
+"""Command-line interface: the ``build-distperm-*`` programs, unified.
+
+The paper's experiments were driven by small programs that build a
+``distperm`` index over a database file and "write out the permutations
+in ASCII as a side effect of index generation, so that the number of
+unique permutations can easily be counted with ``sort | uniq | wc``".
+``repro census`` is that program; the other subcommands regenerate the
+paper's tables and figures from the shell.
+
+Examples::
+
+    python -m repro table1
+    python -m repro table2 --names long colors --n 1000
+    python -m repro table3 --dims 1 2 3 --n 10000 --runs 3
+    python -m repro census --input words.txt --kind strings \\
+        --metric levenshtein --sites 8 --dump perms.txt
+    python -m repro counterexample --points 1000000
+    python -m repro figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_METRICS = {
+    "l1": lambda: __import__("repro.metrics", fromlist=["x"]).CityblockDistance(),
+    "l2": lambda: __import__("repro.metrics", fromlist=["x"]).EuclideanDistance(),
+    "linf": lambda: __import__("repro.metrics", fromlist=["x"]).ChebyshevDistance(),
+    "levenshtein": lambda: __import__(
+        "repro.metrics", fromlist=["x"]
+    ).LevenshteinDistance(),
+    "prefix": lambda: __import__("repro.metrics", fromlist=["x"]).PrefixDistance(),
+    "angular": lambda: __import__("repro.metrics", fromlist=["x"]).AngularDistance(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Counting distance permutations — reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="exact N_{d,2}(k) (Table 1)")
+    table1.add_argument("--max-d", type=int, default=10)
+    table1.add_argument("--max-k", type=int, default=12)
+
+    table2 = commands.add_parser(
+        "table2", help="census of the sample-database analogues (Table 2)"
+    )
+    table2.add_argument("--names", nargs="*", default=None)
+    table2.add_argument("--n", type=int, default=0,
+                        help="override database size (default: fast preset)")
+    table2.add_argument("--seed", type=int, default=20080411)
+
+    table3 = commands.add_parser(
+        "table3", help="census of uniform random vectors (Table 3)"
+    )
+    table3.add_argument("--dims", type=int, nargs="*", default=None)
+    table3.add_argument("--ks", type=int, nargs="*", default=(4, 8, 12))
+    table3.add_argument("--n", type=int, default=None)
+    table3.add_argument("--runs", type=int, default=None)
+
+    census = commands.add_parser(
+        "census",
+        help="count unique distance permutations of a database file "
+             "(the build-distperm program)",
+    )
+    census.add_argument("--input", required=True, help="database file")
+    census.add_argument("--kind", choices=("vectors", "strings"),
+                        required=True)
+    census.add_argument("--metric", choices=sorted(_METRICS), required=True)
+    census.add_argument("--sites", type=int, default=8,
+                        help="number of sites k (default 8)")
+    census.add_argument("--seed", type=int, default=0)
+    census.add_argument("--dump", default=None,
+                        help="write per-element permutations (ASCII) here")
+
+    counter = commands.add_parser(
+        "counterexample", help="re-run the Eq. 12 census (Section 5)"
+    )
+    counter.add_argument("--points", type=int, default=1_000_000)
+    counter.add_argument("--seed", type=int, default=20080411)
+
+    commands.add_parser("figures", help="cell counts of Figures 1-4")
+
+    bound = commands.add_parser(
+        "bound", help="best known bound on permutations for (d, k, p)"
+    )
+    bound.add_argument("d", type=int)
+    bound.add_argument("k", type=int)
+    bound.add_argument("--p", default="2",
+                       help="1, 2, or inf (default 2)")
+
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import format_table1
+
+    print(format_table1(dims=range(1, args.max_d + 1),
+                        ks=range(2, args.max_k + 1)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import format_table2, table2_rows
+
+    rows = table2_rows(names=args.names, n=args.n, seed=args.seed)
+    print(format_table2(rows))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table3 import format_table3, table3_rows
+
+    dims = args.dims if args.dims else range(1, 11)
+    rows = table3_rows(dims=dims, ks=tuple(args.ks), n_points=args.n,
+                       n_runs=args.runs)
+    print(format_table3(rows, ks=tuple(args.ks)))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from repro.datasets.io import load_strings, load_vectors, save_permutations
+    from repro.index import DistPermIndex
+
+    if args.kind == "vectors":
+        points = load_vectors(args.input)
+    else:
+        points = load_strings(args.input)
+    if len(points) == 0:
+        print("error: empty database", file=sys.stderr)
+        return 1
+    if args.sites < 1 or args.sites > len(points):
+        print(
+            f"error: need 1 <= sites <= {len(points)}, got {args.sites}",
+            file=sys.stderr,
+        )
+        return 1
+    metric = _METRICS[args.metric]()
+    index = DistPermIndex(
+        points,
+        metric,
+        n_sites=args.sites,
+        rng=np.random.default_rng(args.seed),
+    )
+    if args.dump:
+        save_permutations(args.dump, index.permutations)
+    report = index.storage()
+    print(f"database: {args.input} ({len(points)} elements, "
+          f"metric {metric.name})")
+    print(f"sites (k={args.sites}): indices {index.site_indices}")
+    print(f"unique distance permutations: {index.unique_permutations()} "
+          f"(of k! = {math.factorial(args.sites)})")
+    print(f"bits/element: table={report.bits_permutation_table} "
+          f"naive={report.bits_naive_permutation} "
+          f"LAESA={report.bits_laesa}")
+    if args.dump:
+        print(f"permutations written to {args.dump} "
+              f"(count them with: sort {args.dump} | uniq | wc -l)")
+    return 0
+
+
+def _cmd_counterexample(args: argparse.Namespace) -> int:
+    from repro.experiments.counterexample import counterexample_census
+
+    result = counterexample_census(n_points=args.points, seed=args.seed)
+    print("Eq. 12 sites, 3-d L1, uniform database:")
+    print(f"  points: {args.points}")
+    print(f"  observed permutations: {result.observed} (paper: 108)")
+    print(f"  Euclidean limit N_3,2(5): {result.euclidean_limit}")
+    print(f"  exceeds limit: {result.exceeds}")
+    return 0 if result.exceeds else 2
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import figure_cell_counts
+
+    counts = figure_cell_counts()
+    print(f"Fig 1 order-1 Voronoi cells (L2): {counts['order1_cells']}")
+    print(f"Fig 2 order-2 Voronoi cells (L2): {counts['order2_cells']}")
+    print(f"Fig 3 bisector cells, L2 (exact): {counts['l2_cells_exact']}")
+    print(f"Fig 4 bisector cells, L1 (grid):  {counts['l1_cells_grid']}")
+    print(f"permutations only in L1: {len(counts['l1_only'])}, "
+          f"only in L2: {len(counts['l2_only'])}")
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    from repro.core.counting import max_permutations
+
+    p = math.inf if args.p in ("inf", "Inf", "INF") else float(args.p)
+    if p != math.inf and p == int(p):
+        p = int(p)
+    try:
+        value = max_permutations(args.d, args.k, p)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    kind = "exact" if (p == 2 or args.d >= args.k - 1) else "upper bound"
+    print(f"N_{{{args.d},{args.p}}}({args.k}) <= {value}  ({kind}; "
+          f"k! = {math.factorial(args.k)})")
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "census": _cmd_census,
+    "counterexample": _cmd_counterexample,
+    "figures": _cmd_figures,
+    "bound": _cmd_bound,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Dimensionality statistics (Section 5 of the paper).
+
+Two estimators are provided:
+
+- the Chávez–Navarro **intrinsic dimensionality** ``ρ = μ² / (2 σ²)`` of
+  the pairwise distance distribution, reported alongside every database in
+  Table 2;
+- the paper's suggested **permutation dimension**: the Euclidean dimension
+  ``d`` whose maximum count ``N_{d,2}(k)`` (or a supplied calibration
+  curve) best matches the number of distance permutations observed, "a
+  novel way of estimating the dimensionality of databases" that depends
+  only on which points *can* exist, not on their distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.counting import euclidean_permutation_count
+from repro.metrics.base import Metric
+
+__all__ = [
+    "intrinsic_dimensionality",
+    "sample_distances",
+    "estimate_rho",
+    "permutation_dimension",
+]
+
+
+def intrinsic_dimensionality(distances: Sequence[float]) -> float:
+    """Return ``ρ = μ² / (2 σ²)`` for a sample of pairwise distances."""
+    arr = np.asarray(distances, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError("need at least two distance samples")
+    mean = float(arr.mean())
+    var = float(arr.var())
+    if var == 0.0:
+        raise ValueError("zero distance variance: rho is undefined")
+    return mean * mean / (2.0 * var)
+
+
+def sample_distances(
+    points: Sequence,
+    metric: Metric,
+    n_pairs: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample distances between random distinct pairs of database points."""
+    rng = rng if rng is not None else np.random.default_rng()
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points")
+    first = rng.integers(0, n, size=n_pairs)
+    second = rng.integers(0, n - 1, size=n_pairs)
+    second = np.where(second >= first, second + 1, second)
+    return np.array(
+        [metric.distance(points[int(i)], points[int(j)]) for i, j in zip(first, second)]
+    )
+
+
+def estimate_rho(
+    points: Sequence,
+    metric: Metric,
+    n_pairs: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Estimate intrinsic dimensionality ``ρ`` by sampling point pairs."""
+    return intrinsic_dimensionality(sample_distances(points, metric, n_pairs, rng))
+
+
+def permutation_dimension(
+    observed: int,
+    k: int,
+    max_dimension: int = 64,
+    reference: Optional[Callable[[int, int], float]] = None,
+) -> float:
+    """Estimate the Euclidean-equivalent dimension from a permutation count.
+
+    Finds the (fractional) ``d`` with ``reference(d, k) = observed`` by
+    log-linear interpolation between consecutive integer dimensions, where
+    ``reference`` defaults to the theoretical maximum ``N_{d,2}(k)``.
+    A database realizing as many permutations as a ``d``-dimensional
+    Euclidean space possibly could is assigned dimension ``d``.  Counts at
+    or beyond ``N_{max_dimension,2}(k)`` saturate to ``max_dimension``.
+    """
+    if observed < 1:
+        raise ValueError("observed count must be >= 1")
+    if k < 2:
+        raise ValueError("need k >= 2 sites")
+    ref = reference if reference is not None else (
+        lambda d, kk: float(euclidean_permutation_count(d, kk))
+    )
+    if observed <= ref(0, k):
+        return 0.0
+    previous = ref(0, k)
+    for d in range(1, max_dimension + 1):
+        current = ref(d, k)
+        if observed <= current:
+            if current == previous:
+                return float(d)
+            # Log-linear interpolation between (d-1, previous) and (d, current).
+            fraction = (math.log(observed) - math.log(previous)) / (
+                math.log(current) - math.log(previous)
+            )
+            return (d - 1) + fraction
+        previous = current
+    return float(max_dimension)

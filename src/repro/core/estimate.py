@@ -1,0 +1,137 @@
+"""Census estimation for databases too large to enumerate.
+
+The paper counts unique permutations exactly (``sort | uniq | wc``).  For
+databases that do not fit in memory two standard tools apply:
+
+- :class:`StreamingCensus` — an exact streaming counter over permutation
+  batches (bounded by the number of *distinct* permutations, which the
+  paper shows is small, not by ``n``);
+- :func:`chao1_estimate` — the Chao1 species-richness estimator: from the
+  singleton/doubleton counts of a *sample*, estimate how many
+  permutations the whole space realizes, including ones not yet seen.
+  This quantifies the paper's remark that an observed census "is a lower
+  bound; even more permutations may exist".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.permutation import permutations_from_distances
+from repro.metrics.base import Metric
+
+__all__ = ["StreamingCensus", "chao1_estimate", "sampled_census_estimate"]
+
+
+class StreamingCensus:
+    """Exact unique-permutation counting over streamed batches.
+
+    Memory is proportional to the number of distinct permutations seen —
+    by the paper's results ``O(min(n, N_{d,p}(k)))`` — never to the number
+    of points processed.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[Tuple[int, ...], int] = {}
+        self._total = 0
+
+    def update(self, perms: np.ndarray) -> None:
+        """Fold one ``(n, k)`` batch of permutations into the census."""
+        perms = np.asarray(perms)
+        if perms.ndim != 2:
+            raise ValueError(f"expected (n, k) batch, got {perms.shape}")
+        unique, counts = np.unique(perms, axis=0, return_counts=True)
+        for row, count in zip(unique, counts):
+            key = tuple(int(v) for v in row)
+            self._counts[key] = self._counts.get(key, 0) + int(count)
+        self._total += perms.shape[0]
+
+    def update_points(
+        self, points: Sequence, sites: Sequence, metric: Metric
+    ) -> None:
+        """Convenience: compute and fold a batch of database points."""
+        distances = metric.to_sites(points, sites)
+        self.update(permutations_from_distances(distances))
+
+    @property
+    def distinct(self) -> int:
+        return len(self._counts)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def frequency_of_frequencies(self) -> Dict[int, int]:
+        """Return ``{occurrence count: number of permutations}``."""
+        out: Dict[int, int] = {}
+        for count in self._counts.values():
+            out[count] = out.get(count, 0) + 1
+        return out
+
+    def chao1(self) -> float:
+        """Chao1 estimate of the total realizable permutations."""
+        return chao1_estimate(self.frequency_of_frequencies(), self.distinct)
+
+
+def chao1_estimate(
+    frequency_of_frequencies: Dict[int, int], observed: Optional[int] = None
+) -> float:
+    """Chao1 species-richness estimator.
+
+    ``S = S_obs + f1^2 / (2 f2)`` with the bias-corrected form
+    ``S_obs + f1 (f1 - 1) / (2 (f2 + 1))`` when no doubletons exist.
+    ``f1`` is the number of permutations seen exactly once, ``f2`` exactly
+    twice.  The estimate is a lower bound on richness in expectation, and
+    is always >= the observed count.
+    """
+    if observed is None:
+        observed = sum(frequency_of_frequencies.values())
+    if observed < 0:
+        raise ValueError("observed count must be nonnegative")
+    f1 = frequency_of_frequencies.get(1, 0)
+    f2 = frequency_of_frequencies.get(2, 0)
+    if f1 == 0:
+        return float(observed)
+    if f2 == 0:
+        return observed + f1 * (f1 - 1) / 2.0
+    return observed + f1 * f1 / (2.0 * f2)
+
+
+@dataclass(frozen=True)
+class SampledCensus:
+    """Result of a sample-based census estimate."""
+
+    sample_size: int
+    observed: int
+    chao1: float
+
+
+def sampled_census_estimate(
+    points: Sequence,
+    sites: Sequence,
+    metric: Metric,
+    sample_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> SampledCensus:
+    """Estimate a database's permutation census from a uniform sample.
+
+    Computes permutations for ``sample_size`` points drawn without
+    replacement, returning both the observed unique count (a lower bound)
+    and the Chao1 extrapolation.
+    """
+    n = len(points)
+    if not 1 <= sample_size <= n:
+        raise ValueError(f"need 1 <= sample_size <= {n}")
+    rng = rng if rng is not None else np.random.default_rng()
+    chosen = rng.choice(n, size=sample_size, replace=False)
+    sample = [points[int(i)] for i in chosen]
+    census = StreamingCensus()
+    census.update_points(sample, sites, metric)
+    return SampledCensus(
+        sample_size=sample_size,
+        observed=census.distinct,
+        chao1=census.chao1(),
+    )

@@ -1,0 +1,185 @@
+"""Distance permutations: definition, batch computation, codecs.
+
+Given sites ``x_1 .. x_k``, the distance permutation ``Π_y`` of a point
+``y`` is the unique permutation sorting the site indices into order of
+increasing distance from ``y``, breaking ties by lower site index (the
+paper's Section 1 definition).  We represent ``Π_y`` 0-based: ``perm[r]``
+is the index of the ``(r+1)``-th closest site.
+
+Tie-breaking is implemented with a *stable* argsort, which reproduces the
+paper's rule exactly: among equal distances, the lower site index comes
+first.  This matters for discrete metrics such as edit distance where ties
+are pervasive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.metrics.base import Metric
+
+__all__ = [
+    "distance_permutation",
+    "distance_permutations",
+    "permutations_from_distances",
+    "count_distinct_permutations",
+    "distinct_permutations",
+    "inverse_permutation",
+    "permutation_rank",
+    "permutation_unrank",
+    "spearman_footrule",
+    "spearman_rho",
+    "kendall_tau",
+    "is_permutation",
+]
+
+
+def permutations_from_distances(distances: np.ndarray) -> np.ndarray:
+    """Return distance permutations for a matrix of site distances.
+
+    ``distances`` has shape ``(n, k)``: row ``i`` holds the distances from
+    point ``i`` to each of the ``k`` sites.  The result has the same shape
+    and row ``i`` is ``Π`` for point ``i``.  Stable sorting implements the
+    lower-index tie-break.
+    """
+    distances = np.asarray(distances)
+    if distances.ndim == 1:
+        distances = distances.reshape(1, -1)
+    return np.argsort(distances, axis=1, kind="stable")
+
+
+def distance_permutation(point: Any, sites: Sequence[Any], metric: Metric) -> Tuple[int, ...]:
+    """Return ``Π_y`` for one point as a tuple of 0-based site indices."""
+    distances = metric.to_sites([point], sites)[0]
+    return tuple(int(i) for i in permutations_from_distances(distances)[0])
+
+
+def distance_permutations(
+    points: Sequence[Any], sites: Sequence[Any], metric: Metric
+) -> np.ndarray:
+    """Return the ``(n, k)`` matrix of distance permutations for ``points``."""
+    distances = metric.to_sites(points, sites)
+    return permutations_from_distances(distances)
+
+
+def count_distinct_permutations(perms: np.ndarray) -> int:
+    """Return the number of distinct rows in a permutation matrix.
+
+    This is the paper's central measured quantity: the size of
+    ``{Π_y | y in database}``.
+    """
+    perms = np.asarray(perms)
+    if perms.ndim != 2:
+        raise ValueError(f"expected (n, k) permutation matrix, got {perms.shape}")
+    if perms.shape[0] == 0:
+        return 0
+    return int(np.unique(perms, axis=0).shape[0])
+
+
+def distinct_permutations(perms: np.ndarray) -> Set[Tuple[int, ...]]:
+    """Return the set of distinct permutations (as tuples) in a matrix."""
+    perms = np.asarray(perms)
+    return {tuple(int(v) for v in row) for row in np.unique(perms, axis=0)}
+
+
+def is_permutation(perm: Sequence[int]) -> bool:
+    """Return True if ``perm`` is a permutation of ``0..len(perm)-1``."""
+    return sorted(perm) == list(range(len(perm)))
+
+
+def inverse_permutation(perm: Sequence[int]) -> Tuple[int, ...]:
+    """Return the inverse: ``inv[site] = rank`` of that site in ``perm``."""
+    inv = [0] * len(perm)
+    for rank, site in enumerate(perm):
+        inv[site] = rank
+    return tuple(inv)
+
+
+def permutation_rank(perm: Sequence[int]) -> int:
+    """Return the lexicographic rank (Lehmer code) of a permutation.
+
+    The rank is in ``0 .. k!-1``; together with :func:`permutation_unrank`
+    it gives the ``ceil(log2 k!)``-bit packing used as the storage baseline
+    against which the paper's permutation-table encoding is compared.
+    """
+    perm = list(perm)
+    k = len(perm)
+    if not is_permutation(perm):
+        raise ValueError(f"{perm!r} is not a permutation of 0..{k - 1}")
+    rank = 0
+    remaining = list(range(k))
+    for i, value in enumerate(perm):
+        position = remaining.index(value)
+        rank += position * math.factorial(k - 1 - i)
+        remaining.pop(position)
+    return rank
+
+
+def permutation_unrank(rank: int, k: int) -> Tuple[int, ...]:
+    """Return the permutation of ``0..k-1`` with the given lexicographic rank."""
+    if not 0 <= rank < math.factorial(k):
+        raise ValueError(f"rank {rank} out of range for k={k}")
+    remaining = list(range(k))
+    perm = []
+    for i in range(k):
+        quotient = math.factorial(k - 1 - i)
+        position, rank = divmod(rank, quotient)
+        perm.append(remaining.pop(position))
+    return tuple(perm)
+
+
+def _positions(perm: Sequence[int]) -> np.ndarray:
+    perm = np.asarray(perm)
+    pos = np.empty_like(perm)
+    pos[perm] = np.arange(len(perm))
+    return pos
+
+
+def spearman_footrule(perm_a: Sequence[int], perm_b: Sequence[int]) -> int:
+    """Spearman footrule: total displacement of site positions.
+
+    ``F = sum_site |pos_a(site) - pos_b(site)|``.  This is the permutation
+    dissimilarity used by the permutation index of Chávez, Figueroa, and
+    Navarro to order candidates by how similar their stored permutation is
+    to the query's.
+    """
+    if len(perm_a) != len(perm_b):
+        raise ValueError("permutations must have the same length")
+    return int(np.abs(_positions(perm_a) - _positions(perm_b)).sum())
+
+
+def spearman_rho(perm_a: Sequence[int], perm_b: Sequence[int]) -> float:
+    """Spearman rho: Euclidean distance between position vectors."""
+    if len(perm_a) != len(perm_b):
+        raise ValueError("permutations must have the same length")
+    diff = _positions(perm_a) - _positions(perm_b)
+    return float(np.sqrt(np.sum(diff.astype(np.float64) ** 2)))
+
+
+def kendall_tau(perm_a: Sequence[int], perm_b: Sequence[int]) -> int:
+    """Kendall tau: number of discordant site pairs between two permutations."""
+    if len(perm_a) != len(perm_b):
+        raise ValueError("permutations must have the same length")
+    pos_a = _positions(perm_a)
+    pos_b = _positions(perm_b)
+    k = len(pos_a)
+    discordant = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            if (pos_a[i] - pos_a[j]) * (pos_b[i] - pos_b[j]) < 0:
+                discordant += 1
+    return discordant
+
+
+def footrule_matrix(perms: np.ndarray, query_perm: Sequence[int]) -> np.ndarray:
+    """Vectorized footrule of every row of ``perms`` against one permutation."""
+    perms = np.asarray(perms)
+    n, k = perms.shape
+    positions = np.empty_like(perms)
+    rows = np.arange(n)[:, None]
+    positions[rows, perms] = np.arange(k)[None, :]
+    query_positions = _positions(query_perm)[None, :]
+    return np.abs(positions - query_positions).sum(axis=1)

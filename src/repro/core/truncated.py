@@ -1,0 +1,81 @@
+"""Truncated distance permutations: store only the nearest ``m`` of ``k``.
+
+A natural follow-up to the paper (and the direction later permutation
+indexes took): if the full permutation needs too many bits, keep only the
+prefix naming the ``m`` closest sites.  This module counts distinct
+prefixes the same way the paper counts full permutations, bounding prefix
+storage at ``ceil(log2 #prefixes)`` bits.
+
+The count of length-``m`` prefixes is the number of cells of the
+*order-m ordered* Voronoi diagram, sandwiched between the order-1 diagram
+(``m = 1``: at most ``k`` cells) and the full diagram (``m = k``, the
+paper's object); the census curve over ``m`` shows where the information
+in the permutation saturates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.permutation import permutations_from_distances
+from repro.core.storage import bits_for_count
+from repro.metrics.base import Metric
+
+__all__ = [
+    "truncate_permutations",
+    "count_distinct_prefixes",
+    "prefix_census_curve",
+    "max_prefixes_unrestricted",
+    "prefix_storage_bits",
+]
+
+
+def truncate_permutations(perms: np.ndarray, m: int) -> np.ndarray:
+    """Return the length-``m`` prefixes of the permutation rows."""
+    perms = np.asarray(perms)
+    if perms.ndim != 2:
+        raise ValueError(f"expected (n, k) matrix, got {perms.shape}")
+    if not 1 <= m <= perms.shape[1]:
+        raise ValueError(f"need 1 <= m <= {perms.shape[1]}, got {m}")
+    return perms[:, :m]
+
+
+def count_distinct_prefixes(perms: np.ndarray, m: int) -> int:
+    """Count distinct length-``m`` prefixes (ordered)."""
+    prefixes = truncate_permutations(perms, m)
+    return int(np.unique(prefixes, axis=0).shape[0])
+
+
+def max_prefixes_unrestricted(k: int, m: int) -> int:
+    """Number of possible length-``m`` prefixes: ``k! / (k-m)!``."""
+    if not 1 <= m <= k:
+        raise ValueError(f"need 1 <= m <= k, got m={m}, k={k}")
+    return math.perm(k, m)
+
+
+def prefix_storage_bits(count: int) -> int:
+    """Bits per element for a table of ``count`` realized prefixes."""
+    return bits_for_count(count)
+
+
+def prefix_census_curve(
+    points: Sequence,
+    sites: Sequence,
+    metric: Metric,
+) -> Dict[int, int]:
+    """Distinct-prefix counts for every ``m = 1..k`` on one site set.
+
+    One distance matrix is computed; each prefix length reuses it.  The
+    curve is monotone nondecreasing in ``m`` by construction and its
+    flattening point is where extra permutation positions stop adding
+    information (the storage-versus-selectivity trade-off knob).
+    """
+    distances = metric.to_sites(points, sites)
+    perms = permutations_from_distances(distances)
+    return {
+        m: count_distinct_prefixes(perms, m)
+        for m in range(1, perms.shape[1] + 1)
+    }

@@ -1,0 +1,98 @@
+"""ASCII database formats compatible in spirit with the SISAP library.
+
+Vector databases are one whitespace-separated vector per line; string
+databases are one string per line.  The paper's ``build-distperm-*``
+programs "write out the permutations in ASCII ... so that the number of
+unique permutations can easily be counted with ``sort | uniq | wc``";
+:func:`save_permutations` mirrors that output format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "save_vectors",
+    "load_vectors",
+    "save_strings",
+    "load_strings",
+    "save_permutations",
+    "load_permutations",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_vectors(path: PathLike, vectors: np.ndarray) -> None:
+    """Write one whitespace-separated vector per line."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        raise ValueError(f"expected a 2-d array, got shape {vectors.shape}")
+    with open(path, "w", encoding="ascii") as handle:
+        for row in vectors:
+            handle.write(" ".join(repr(float(v)) for v in row))
+            handle.write("\n")
+
+
+def load_vectors(path: PathLike) -> np.ndarray:
+    """Read a vector database written by :func:`save_vectors`."""
+    rows: List[List[float]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append([float(v) for v in line.split()])
+    if not rows:
+        return np.empty((0, 0), dtype=np.float64)
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ValueError("inconsistent vector dimensions in file")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def save_strings(path: PathLike, strings: Sequence[str]) -> None:
+    """Write one string per line (strings must not contain newlines)."""
+    for s in strings:
+        if "\n" in s or "\r" in s:
+            raise ValueError("strings may not contain newline characters")
+    with open(path, "w", encoding="utf-8") as handle:
+        for s in strings:
+            handle.write(s)
+            handle.write("\n")
+
+
+def load_strings(path: PathLike) -> List[str]:
+    """Read a string database written by :func:`save_strings`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return [line.rstrip("\n") for line in handle if line.rstrip("\n")]
+
+
+def save_permutations(path: PathLike, perms: np.ndarray) -> None:
+    """Write one space-separated distance permutation per line (ASCII).
+
+    Matches the paper's pipeline: the output can be piped through
+    ``sort | uniq | wc -l`` to count distinct permutations.
+    """
+    perms = np.asarray(perms)
+    if perms.ndim != 2:
+        raise ValueError(f"expected an (n, k) matrix, got shape {perms.shape}")
+    with open(path, "w", encoding="ascii") as handle:
+        for row in perms:
+            handle.write(" ".join(str(int(v)) for v in row))
+            handle.write("\n")
+
+
+def load_permutations(path: PathLike) -> np.ndarray:
+    """Read a permutation file written by :func:`save_permutations`."""
+    rows: List[List[int]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append([int(v) for v in line.split()])
+    if not rows:
+        return np.empty((0, 0), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)

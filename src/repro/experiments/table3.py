@@ -1,0 +1,109 @@
+"""Table 3: distance permutations for uniform random vectors.
+
+For each metric in {L1, L2, L∞}, dimension ``d = 1..10`` and permutation
+length ``k`` in {4, 8, 12}, draw a uniform database in the unit cube,
+repeat the census over fresh random site draws, and report mean and max —
+the paper used ``n = 10^6`` points and 100 runs; the defaults here are
+scaled down (environment variables ``REPRO_TABLE3_N`` / ``REPRO_TABLE3_RUNS``
+or keyword arguments restore full scale).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dimension import intrinsic_dimensionality
+from repro.datasets.vectors import uniform_vectors
+from repro.experiments.harness import format_table, permutation_count_trials
+from repro.metrics.minkowski import MinkowskiMetric
+
+__all__ = ["Table3Row", "table3_rows", "format_table3", "default_scale"]
+
+#: Table 3 metrics in paper order.
+METRIC_PS: Tuple[float, ...] = (1.0, 2.0, math.inf)
+
+
+def default_scale() -> Tuple[int, int]:
+    """Return ``(n_points, n_runs)`` from the environment or scaled defaults."""
+    n = int(os.environ.get("REPRO_TABLE3_N", "20000"))
+    runs = int(os.environ.get("REPRO_TABLE3_RUNS", "5"))
+    return n, runs
+
+
+@dataclass
+class Table3Row:
+    """One (metric, dimension) row: per-``k`` mean and max counts plus ρ."""
+
+    p: float
+    d: int
+    rho: float
+    mean_counts: Dict[int, float]
+    max_counts: Dict[int, int]
+
+    @property
+    def metric_name(self) -> str:
+        return "Linf" if self.p == math.inf else f"L{int(self.p)}"
+
+
+def table3_rows(
+    dims: Iterable[int] = range(1, 11),
+    ks: Sequence[int] = (4, 8, 12),
+    ps: Sequence[float] = METRIC_PS,
+    n_points: Optional[int] = None,
+    n_runs: Optional[int] = None,
+    seed: int = 20080411,
+) -> List[Table3Row]:
+    """Regenerate Table 3 (optionally restricted to fewer cells)."""
+    env_n, env_runs = default_scale()
+    n_points = n_points if n_points is not None else env_n
+    n_runs = n_runs if n_runs is not None else env_runs
+    rows = []
+    for p in ps:
+        metric = MinkowskiMetric(p)
+        for d in dims:
+            rng = np.random.default_rng([seed, int(p if p != math.inf else 99), d])
+            points = uniform_vectors(n_points, d, rng)
+            # rho of the uniform cube under this metric, sampled cheaply.
+            pair_count = min(2000, n_points * (n_points - 1) // 2)
+            first = rng.integers(0, n_points, size=pair_count)
+            second = rng.integers(0, n_points, size=pair_count)
+            keep = first != second
+            sample = np.array(
+                [
+                    metric.distance(points[i], points[j])
+                    for i, j in zip(first[keep], second[keep])
+                ]
+            )
+            rho = intrinsic_dimensionality(sample)
+            mean_counts: Dict[int, float] = {}
+            max_counts: Dict[int, int] = {}
+            for k in ks:
+                result = permutation_count_trials(
+                    points, metric, k, n_trials=n_runs, rng=rng
+                )
+                mean_counts[k] = result.mean
+                max_counts[k] = result.max
+            rows.append(Table3Row(p, d, rho, mean_counts, max_counts))
+    return rows
+
+
+def format_table3(rows: List[Table3Row], ks: Sequence[int] = (4, 8, 12)) -> str:
+    """Render measured rows in the paper's Table 3 layout."""
+    headers = (
+        ["metric", "d", "rho"]
+        + [f"mean k={k}" for k in ks]
+        + [f"max k={k}" for k in ks]
+    )
+    body = []
+    for row in rows:
+        body.append(
+            [row.metric_name, row.d, f"{row.rho:.2f}"]
+            + [f"{row.mean_counts[k]:.2f}" for k in ks]
+            + [row.max_counts[k] for k in ks]
+        )
+    return format_table(headers, body)

@@ -1,0 +1,106 @@
+"""Common index interface: exact range / kNN queries with cost accounting."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.metrics.base import CountingMetric, Metric
+
+__all__ = ["Neighbor", "SearchStats", "Index"]
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One query answer: database index plus its distance to the query."""
+
+    distance: float
+    index: int
+
+
+@dataclass
+class SearchStats:
+    """Distance evaluations spent building and querying an index."""
+
+    build_distances: int = 0
+    query_distances: int = 0
+    queries: int = 0
+
+    @property
+    def distances_per_query(self) -> float:
+        return self.query_distances / self.queries if self.queries else 0.0
+
+
+class Index(ABC):
+    """Base class for proximity-search indexes.
+
+    Subclasses implement :meth:`_range_impl` and may override
+    :meth:`_knn_impl`; the public methods validate arguments and keep the
+    distance-evaluation accounts.  ``self.metric`` is a
+    :class:`~repro.metrics.base.CountingMetric` wrapping the supplied
+    metric, so every evaluation anywhere in the index is counted.
+    """
+
+    def __init__(self, points: Sequence[Any], metric: Metric):
+        if len(points) == 0:
+            raise ValueError("cannot index an empty database")
+        self.points = points
+        self.metric = CountingMetric(metric)
+        self.stats = SearchStats()
+        self._build()
+        self.stats.build_distances = self.metric.count
+        self.metric.reset()
+
+    @abstractmethod
+    def _build(self) -> None:
+        """Construct the index; metric evaluations are charged to build."""
+
+    @abstractmethod
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        """Return all points within ``radius`` of ``query`` (inclusive)."""
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        """Default kNN: shrink a range query via the growing result set."""
+        # Generic fallback: scan with the current k-th distance as radius.
+        # Subclasses with real pruning override this.
+        results = self._range_impl(query, float("inf"))
+        results.sort()
+        return results[:k]
+
+    def range_query(self, query: Any, radius: float) -> List[Neighbor]:
+        """Return every database element within ``radius`` of ``query``.
+
+        Results are sorted by distance (ties by index) and *exact*: the
+        same set a linear scan returns.
+        """
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        before = self.metric.count
+        results = sorted(self._range_impl(query, radius))
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += 1
+        return results
+
+    def knn_query(self, query: Any, k: int) -> List[Neighbor]:
+        """Return the ``k`` nearest database elements, sorted by distance."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.points))
+        before = self.metric.count
+        results = sorted(self._knn_impl(query, k))[:k]
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += 1
+        return results
+
+    def reset_stats(self) -> None:
+        """Zero the query-cost accounts (build cost is preserved)."""
+        self.stats.query_distances = 0
+        self.stats.queries = 0
+        self.metric.reset()
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={len(self.points)})"

@@ -1,0 +1,105 @@
+"""Burkhard–Keller tree: the classic index for integer-valued metrics.
+
+Dictionaries under edit distance — half of the paper's Table 2 — are the
+canonical BK-tree workload: children of a node are keyed by their integer
+distance to the node's element, and the triangle inequality prunes every
+child bucket ``b`` with ``|b - d(q, v)| > r``.  Included as a substrate
+baseline alongside the vector-oriented trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Sequence
+
+from repro.index.base import Index, Neighbor
+from repro.metrics.base import Metric
+
+__all__ = ["BKTree"]
+
+
+class _Node:
+    __slots__ = ("index", "children")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.children: Dict[int, "_Node"] = {}
+
+
+class BKTree(Index):
+    """Burkhard–Keller tree over an integer-valued metric.
+
+    Raises at build time if the metric produces a non-integer distance:
+    the bucket structure is only correct for discrete metrics (edit
+    distance, Hamming, prefix, tree metrics with integer weights).
+    """
+
+    def _build(self) -> None:
+        self.root = _Node(0)
+        for i in range(1, len(self.points)):
+            self._insert(i)
+
+    def _distance_int(self, x: Any, y: Any) -> int:
+        d = self.metric.distance(x, y)
+        rounded = int(round(d))
+        if abs(d - rounded) > 1e-9:
+            raise ValueError(
+                f"BKTree requires an integer-valued metric, got d={d}"
+            )
+        return rounded
+
+    def _insert(self, index: int) -> None:
+        node = self.root
+        while True:
+            d = self._distance_int(self.points[index], self.points[node.index])
+            if d == 0:
+                # Duplicate element: bucket it at distance 0 via a chain.
+                d = 0
+            child = node.children.get(d)
+            if child is None:
+                node.children[d] = _Node(index)
+                return
+            node = child
+
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        results: List[Neighbor] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            d = self._distance_int(query, self.points[node.index])
+            if d <= radius:
+                results.append(Neighbor(float(d), node.index))
+            for bucket, child in node.children.items():
+                # Triangle inequality: any x in this subtree satisfies
+                # |d(q, v) - bucket| <= d(q, x).
+                if abs(d - bucket) <= radius:
+                    stack.append(child)
+        return results
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        heap: List[tuple] = []
+
+        def offer(distance: float, index: int) -> None:
+            item = (-distance, -index)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+
+        def current_radius() -> float:
+            return -heap[0][0] if len(heap) == k else float("inf")
+
+        counter = 0
+        queue: List[tuple] = [(0.0, counter, self.root)]
+        while queue:
+            bound, _, node = heapq.heappop(queue)
+            if bound > current_radius():
+                continue
+            d = self._distance_int(query, self.points[node.index])
+            offer(float(d), node.index)
+            for bucket, child in node.children.items():
+                child_bound = max(0.0, abs(d - bucket))
+                if child_bound <= current_radius():
+                    counter += 1
+                    heapq.heappush(queue, (child_bound, counter, child))
+        return [Neighbor(-nd, -ni) for nd, ni in heap]

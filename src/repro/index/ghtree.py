@@ -1,0 +1,125 @@
+"""GH-tree: generalized-hyperplane partitioning (Uhlmann).
+
+The other classic tree structure from the paper's introduction: each node
+holds two centres, points go to the closer centre, and a subtree is pruned
+when the query ball cannot cross the generalized hyperplane (the bisector
+of Definition 1) separating the two halves — which is what ties these
+trees to the paper's bisector story.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.index.base import Index, Neighbor
+from repro.metrics.base import Metric
+
+__all__ = ["GHTree"]
+
+
+@dataclass
+class _Node:
+    center_a: int
+    center_b: Optional[int]
+    left: Optional["_Node"]  # points closer to center_a
+    right: Optional["_Node"]  # points closer to center_b
+
+
+class GHTree(Index):
+    """Generalized-hyperplane tree; exact range and kNN search."""
+
+    def __init__(
+        self,
+        points: Sequence[Any],
+        metric: Metric,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(points, metric)
+
+    def _build(self) -> None:
+        self.root = self._build_node(list(range(len(self.points))))
+
+    def _build_node(self, indices: List[int]) -> Optional[_Node]:
+        if not indices:
+            return None
+        if len(indices) == 1:
+            return _Node(indices[0], None, None, None)
+        picks = self._rng.choice(len(indices), size=2, replace=False)
+        center_a = indices[int(picks[0])]
+        center_b = indices[int(picks[1])]
+        left: List[int] = []
+        right: List[int] = []
+        for i in indices:
+            if i in (center_a, center_b):
+                continue
+            da = self.metric.distance(self.points[center_a], self.points[i])
+            db = self.metric.distance(self.points[center_b], self.points[i])
+            # Tie-break toward the first centre, like the paper's
+            # lower-index rule for distance permutations.
+            (left if da <= db else right).append(i)
+        return _Node(
+            center_a, center_b, self._build_node(left), self._build_node(right)
+        )
+
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        results: List[Neighbor] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            da = self.metric.distance(query, self.points[node.center_a])
+            if da <= radius:
+                results.append(Neighbor(da, node.center_a))
+            if node.center_b is None:
+                continue
+            db = self.metric.distance(query, self.points[node.center_b])
+            if db <= radius:
+                results.append(Neighbor(db, node.center_b))
+            # Hyperplane bound: for x in the left half, d(q, x) >=
+            # (da - db) / 2; symmetric for the right half.
+            if (da - db) / 2.0 <= radius:
+                stack.append(node.left)
+            if (db - da) / 2.0 <= radius:
+                stack.append(node.right)
+        return results
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        heap: List[tuple] = []
+
+        def offer(distance: float, index: int) -> None:
+            item = (-distance, -index)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+
+        def current_radius() -> float:
+            return -heap[0][0] if len(heap) == k else float("inf")
+
+        counter = 0
+        queue: List[tuple] = [(0.0, counter, self.root)]
+        while queue:
+            bound, _, node = heapq.heappop(queue)
+            if node is None or bound > current_radius():
+                continue
+            da = self.metric.distance(query, self.points[node.center_a])
+            offer(da, node.center_a)
+            if node.center_b is None:
+                continue
+            db = self.metric.distance(query, self.points[node.center_b])
+            offer(db, node.center_b)
+            left_bound = max(0.0, (da - db) / 2.0)
+            right_bound = max(0.0, (db - da) / 2.0)
+            if node.left is not None and left_bound <= current_radius():
+                counter += 1
+                heapq.heappush(queue, (left_bound, counter, node.left))
+            if node.right is not None and right_bound <= current_radius():
+                counter += 1
+                heapq.heappush(queue, (right_bound, counter, node.right))
+        return [Neighbor(-nd, -ni) for nd, ni in heap]

@@ -1,0 +1,107 @@
+"""iAESA: AESA with permutation-based pivot selection (Figueroa et al.).
+
+Identical storage and elimination rule to AESA, but the *next* candidate
+to evaluate is chosen by the similarity (Spearman footrule) between the
+candidate's distance permutation of the already-evaluated pivots and the
+query's — the paper notes this pivot-selection idea is the part of iAESA
+that would apply even to LAESA.  Fewer distance evaluations than AESA on
+average; same exact results.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List
+
+import numpy as np
+
+from repro.index.base import Index, Neighbor
+
+__all__ = ["IAESA"]
+
+#: Same float-safety slack as AESA: never trust an elimination bound to
+#: the last ulp.  Slack only admits extra candidates; results stay exact.
+_SAFETY = 1e-9
+
+
+class IAESA(Index):
+    """Improved AESA: permutation-similarity pivot selection."""
+
+    def _build(self) -> None:
+        self.matrix = self.metric.pairwise(self.points)
+
+    def _select_next(
+        self,
+        alive: np.ndarray,
+        lower: np.ndarray,
+        used: List[int],
+        query_distances: List[float],
+    ) -> int:
+        candidates = np.flatnonzero(alive)
+        if len(used) < 2:
+            # Not enough pivots for a meaningful permutation; fall back to
+            # the AESA rule (smallest lower bound).
+            return int(candidates[np.argmin(lower[candidates])])
+        pivot_array = np.asarray(used)
+        query_order = np.argsort(
+            np.asarray(query_distances), kind="stable"
+        )
+        # Rank position of each used pivot in the query's permutation.
+        query_positions = np.empty(len(used), dtype=np.int64)
+        query_positions[query_order] = np.arange(len(used))
+        candidate_distances = self.matrix[np.ix_(candidates, pivot_array)]
+        candidate_orders = np.argsort(candidate_distances, axis=1, kind="stable")
+        positions = np.empty_like(candidate_orders)
+        rows = np.arange(len(candidates))[:, None]
+        positions[rows, candidate_orders] = np.arange(len(used))[None, :]
+        footrules = np.abs(positions - query_positions[None, :]).sum(axis=1)
+        return int(candidates[np.argmin(footrules)])
+
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        n = len(self.points)
+        lower = np.zeros(n)
+        alive = np.ones(n, dtype=bool)
+        used: List[int] = []
+        query_distances: List[float] = []
+        results: List[Neighbor] = []
+        threshold = radius + _SAFETY * (1.0 + radius)
+        while alive.any():
+            pivot = self._select_next(alive, lower, used, query_distances)
+            alive[pivot] = False
+            d = self.metric.distance(query, self.points[pivot])
+            used.append(pivot)
+            query_distances.append(d)
+            if d <= radius:
+                results.append(Neighbor(d, pivot))
+            np.maximum(lower, np.abs(d - self.matrix[pivot]), out=lower)
+            alive &= lower <= threshold
+        return results
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        n = len(self.points)
+        lower = np.zeros(n)
+        alive = np.ones(n, dtype=bool)
+        used: List[int] = []
+        query_distances: List[float] = []
+        heap: List[tuple] = []
+        while alive.any():
+            pivot = self._select_next(alive, lower, used, query_distances)
+            alive[pivot] = False
+            d = self.metric.distance(query, self.points[pivot])
+            used.append(pivot)
+            query_distances.append(d)
+            item = (-d, -pivot)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+            np.maximum(lower, np.abs(d - self.matrix[pivot]), out=lower)
+            if len(heap) == k:
+                kth = -heap[0][0]
+                alive &= lower <= kth + _SAFETY * (1.0 + kth)
+        return [Neighbor(-nd, -ni) for nd, ni in heap]
+
+    def storage_floats(self) -> int:
+        """Stored scalars: the full matrix, as for AESA."""
+        n = len(self.points)
+        return n * (n - 1) // 2

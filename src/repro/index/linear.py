@@ -1,0 +1,43 @@
+"""Naive linear scan: the correctness oracle and cost baseline.
+
+"The naive algorithm for proximity search measures the distance from the
+query point to each object in the database in turn" — every other index is
+validated against this one and judged by how many of those ``n`` distance
+evaluations it avoids.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List
+
+from repro.index.base import Index, Neighbor
+
+__all__ = ["LinearScan"]
+
+
+class LinearScan(Index):
+    """Exhaustive scan; exact by construction."""
+
+    def _build(self) -> None:
+        pass  # nothing to precompute
+
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        results = []
+        for i, point in enumerate(self.points):
+            d = self.metric.distance(query, point)
+            if d <= radius:
+                results.append(Neighbor(d, i))
+        return results
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        # Max-heap of the best k seen so far (negated distances).
+        heap: List[tuple] = []
+        for i, point in enumerate(self.points):
+            d = self.metric.distance(query, point)
+            item = (-d, -i)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+        return [Neighbor(-nd, -ni) for nd, ni in heap]

@@ -1,0 +1,132 @@
+"""List of Clusters (Chávez & Navarro): compact exact index.
+
+A sequence of (center, covering-radius, bucket) clusters built greedily:
+each center absorbs its ``bucket_size`` nearest remaining elements.  At
+query time a cluster is scanned only if the query ball intersects its
+covering ball, and — the structure's signature trick — the search *stops*
+if the query ball lies entirely inside the cluster ball, because
+construction order guarantees later elements are outside it.  Designed for
+the same high-dimensional regime the paper's databases live in.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.index.base import Index, Neighbor
+from repro.metrics.base import Metric
+
+__all__ = ["ListOfClusters"]
+
+
+@dataclass
+class _Cluster:
+    center: int
+    radius: float
+    bucket: List[int]
+    bucket_distances: List[float]  # distances center -> bucket element
+
+
+class ListOfClusters(Index):
+    """List of Clusters with fixed bucket size; exact range and kNN."""
+
+    def __init__(
+        self,
+        points: Sequence[Any],
+        metric: Metric,
+        bucket_size: int = 16,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if bucket_size < 1:
+            raise ValueError("bucket_size must be >= 1")
+        self.bucket_size = bucket_size
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(points, metric)
+
+    def _build(self) -> None:
+        remaining = list(range(len(self.points)))
+        self.clusters: List[_Cluster] = []
+        while remaining:
+            # Next center: the element farthest from the previous center
+            # (first center random) — the heuristic of the original paper.
+            if not self.clusters:
+                pick = int(self._rng.integers(0, len(remaining)))
+                center = remaining.pop(pick)
+            else:
+                previous = self.points[self.clusters[-1].center]
+                distances = [
+                    self.metric.distance(previous, self.points[i])
+                    for i in remaining
+                ]
+                pick = int(np.argmax(distances))
+                center = remaining.pop(pick)
+            if not remaining:
+                self.clusters.append(_Cluster(center, 0.0, [], []))
+                break
+            distances = np.array(
+                [
+                    self.metric.distance(self.points[center], self.points[i])
+                    for i in remaining
+                ]
+            )
+            take = min(self.bucket_size, len(remaining))
+            order = np.argsort(distances, kind="stable")[:take]
+            bucket = [remaining[int(i)] for i in order]
+            bucket_distances = [float(distances[int(i)]) for i in order]
+            radius = bucket_distances[-1] if bucket_distances else 0.0
+            chosen = set(bucket)
+            remaining = [i for i in remaining if i not in chosen]
+            self.clusters.append(
+                _Cluster(center, radius, bucket, bucket_distances)
+            )
+
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        results: List[Neighbor] = []
+        for cluster in self.clusters:
+            d_center = self.metric.distance(query, self.points[cluster.center])
+            if d_center <= radius:
+                results.append(Neighbor(d_center, cluster.center))
+            # Scan the bucket only if the query ball meets the cluster ball.
+            if d_center <= cluster.radius + radius:
+                for i, d_ci in zip(cluster.bucket, cluster.bucket_distances):
+                    # Cheap triangle filter from the stored center distance.
+                    if abs(d_center - d_ci) > radius:
+                        continue
+                    d = self.metric.distance(query, self.points[i])
+                    if d <= radius:
+                        results.append(Neighbor(d, i))
+            # Containment cut: everything after this cluster lies outside
+            # its ball; if the query ball is inside, nothing later matches.
+            if d_center + radius < cluster.radius:
+                break
+        return results
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        heap: List[tuple] = []
+
+        def offer(distance: float, index: int) -> None:
+            item = (-distance, -index)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+
+        def current_radius() -> float:
+            return -heap[0][0] if len(heap) == k else float("inf")
+
+        for cluster in self.clusters:
+            d_center = self.metric.distance(query, self.points[cluster.center])
+            offer(d_center, cluster.center)
+            r = current_radius()
+            if d_center <= cluster.radius + r:
+                for i, d_ci in zip(cluster.bucket, cluster.bucket_distances):
+                    if abs(d_center - d_ci) > current_radius():
+                        continue
+                    offer(self.metric.distance(query, self.points[i]), i)
+            if d_center + current_radius() < cluster.radius:
+                break
+        return [Neighbor(-nd, -ni) for nd, ni in heap]

@@ -1,0 +1,95 @@
+"""Persisting and reloading DistPermIndex data.
+
+A real deployment builds the permutation index once and serves queries
+from it; this module saves the index payload — sites, permutation table,
+bit-packed ids — to a single ``.npz`` file and reconstructs a queryable
+index against the original database.  The stored payload is the compact
+representation of Corollary 8, so file sizes track the paper's bit
+accounting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.bitpack import unpack_ids
+from repro.index.distperm import DistPermIndex
+from repro.metrics.base import Metric
+
+__all__ = ["save_distperm", "load_distperm"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_distperm(path: PathLike, index: DistPermIndex) -> None:
+    """Write the index payload (not the database) to a ``.npz`` file."""
+    store = index.packed()
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        site_indices=np.asarray(index.site_indices, dtype=np.int64),
+        table=store.table.astype(np.int64),
+        packed=np.frombuffer(store.packed, dtype=np.uint8),
+        bit_width=np.int64(store.bit_width),
+        count=np.int64(store.count),
+    )
+
+
+def load_distperm(
+    path: PathLike, points: Sequence, metric: Metric
+) -> DistPermIndex:
+    """Reconstruct a DistPermIndex from a saved payload.
+
+    ``points`` must be the database the index was built on (the payload
+    stores only site indices and permutations); a mismatched database is
+    detected by re-deriving one site permutation and comparing.
+    """
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported format version {version}")
+        site_indices = [int(i) for i in data["site_indices"]]
+        table = data["table"]
+        packed = data["packed"].tobytes()
+        bit_width = int(data["bit_width"])
+        count = int(data["count"])
+    if count != len(points):
+        raise ValueError(
+            f"payload describes {count} elements, database has {len(points)}"
+        )
+    if site_indices and max(site_indices) >= len(points):
+        raise ValueError("site indices exceed the database size")
+    index = DistPermIndex.__new__(DistPermIndex)
+    # Rebuild state without recomputing n x k distances.
+    from repro.index.base import SearchStats
+    from repro.metrics.base import CountingMetric
+
+    index.points = points
+    index.metric = CountingMetric(metric)
+    index.stats = SearchStats()
+    index._site_indices = site_indices
+    index.site_indices = list(site_indices)
+    index.sites = [points[i] for i in site_indices]
+    ids = unpack_ids(packed, bit_width, count).astype(np.int64)
+    if ids.size and int(ids.max()) >= table.shape[0]:
+        raise ValueError("corrupt payload: id exceeds table size")
+    index.table = table
+    index.ids = ids
+    index.permutations = table[ids]
+    # Consistency check: the first site's own permutation must rank that
+    # site at distance zero, i.e. begin with the lowest-index zero-distance
+    # site — cheap evidence the database matches the payload.
+    if site_indices:
+        probe = site_indices[0]
+        derived = index.query_permutation(points[probe])
+        if not np.array_equal(derived, index.permutations[probe]):
+            raise ValueError(
+                "database does not match payload (permutation probe failed)"
+            )
+        index.metric.reset()
+    return index

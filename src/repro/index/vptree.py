@@ -1,0 +1,124 @@
+"""VP-tree (Uhlmann / Yianilos): ball partitioning with triangle pruning.
+
+One of the tree structures the paper's introduction cites as the classic
+approach: organise points into a tree and exclude whole subtrees with the
+triangle inequality.  Included as a substrate baseline for the search
+benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.index.base import Index, Neighbor
+from repro.metrics.base import Metric
+
+__all__ = ["VPTree"]
+
+
+@dataclass
+class _Node:
+    vantage: int
+    radius: float
+    inside: Optional["_Node"]
+    outside: Optional["_Node"]
+
+
+class VPTree(Index):
+    """Vantage-point tree with median ball splits; exact search."""
+
+    def __init__(
+        self,
+        points: Sequence[Any],
+        metric: Metric,
+        leaf_size: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.leaf_size = leaf_size
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(points, metric)
+
+    def _build(self) -> None:
+        self.root = self._build_node(list(range(len(self.points))))
+
+    def _build_node(self, indices: List[int]) -> Optional[_Node]:
+        if not indices:
+            return None
+        vantage = indices[int(self._rng.integers(0, len(indices)))]
+        rest = [i for i in indices if i != vantage]
+        if not rest:
+            return _Node(vantage, 0.0, None, None)
+        distances = np.array(
+            [self.metric.distance(self.points[vantage], self.points[i]) for i in rest]
+        )
+        radius = float(np.median(distances))
+        inside = [i for i, d in zip(rest, distances) if d <= radius]
+        outside = [i for i, d in zip(rest, distances) if d > radius]
+        if not inside or not outside:
+            # Degenerate split (many equal distances): keep both lists in a
+            # chain to guarantee progress.
+            inside, outside = inside or outside, []
+            return _Node(vantage, radius, self._build_node(inside), None)
+        return _Node(
+            vantage, radius, self._build_node(inside), self._build_node(outside)
+        )
+
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        results: List[Neighbor] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            d = self.metric.distance(query, self.points[node.vantage])
+            if d <= radius:
+                results.append(Neighbor(d, node.vantage))
+            # Inside holds points with d(v, x) <= node.radius: reachable
+            # only if d(q, v) - radius <= node.radius.
+            if d - radius <= node.radius:
+                stack.append(node.inside)
+            # Outside holds points with d(v, x) > node.radius.
+            if d + radius > node.radius:
+                stack.append(node.outside)
+        return results
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        heap: List[tuple] = []
+
+        def offer(distance: float, index: int) -> None:
+            item = (-distance, -index)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+
+        def current_radius() -> float:
+            return -heap[0][0] if len(heap) == k else float("inf")
+
+        # Best-first: explore nodes in order of optimistic bound.
+        counter = 0
+        queue: List[tuple] = [(0.0, counter, self.root)]
+        while queue:
+            bound, _, node = heapq.heappop(queue)
+            if node is None or bound > current_radius():
+                continue
+            d = self.metric.distance(query, self.points[node.vantage])
+            offer(d, node.vantage)
+            r = current_radius()
+            if node.inside is not None and d - r <= node.radius:
+                counter += 1
+                heapq.heappush(
+                    queue, (max(0.0, d - node.radius), counter, node.inside)
+                )
+            if node.outside is not None and d + r > node.radius:
+                counter += 1
+                heapq.heappush(
+                    queue, (max(0.0, node.radius - d), counter, node.outside)
+                )
+        return [Neighbor(-nd, -ni) for nd, ni in heap]

@@ -1,0 +1,163 @@
+"""Tree metric spaces (Definition 2 of the paper).
+
+A *tree metric space* is the vertex set of a (possibly weighted) tree with
+``d(x, y)`` the (weighted) path length between vertices.  Distances are
+answered in ``O(log n)`` per query via binary-lifting LCA after an
+``O(n log n)`` preprocessing pass, so counting distance permutations over
+large trees stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.base import Metric
+
+__all__ = ["TreeMetric", "path_tree_metric", "random_tree_metric"]
+
+Edge = Tuple[Hashable, Hashable, float]
+
+
+class TreeMetric(Metric):
+    """Weighted tree metric over an explicit tree.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` or ``(u, v, weight)`` tuples.  Weights
+        default to 1 (the unweighted tree metric).  The edges must form a
+        single tree: connected and acyclic.
+    """
+
+    name = "tree"
+
+    def __init__(self, edges: Iterable[Sequence]):
+        adjacency: Dict[Hashable, List[Tuple[Hashable, float]]] = {}
+        edge_count = 0
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                w = 1.0
+            elif len(edge) == 3:
+                u, v, w = edge
+                w = float(w)
+            else:
+                raise ValueError(f"edge must be (u, v) or (u, v, w), got {edge!r}")
+            if w <= 0:
+                raise ValueError(f"edge weights must be positive, got {w}")
+            adjacency.setdefault(u, []).append((v, w))
+            adjacency.setdefault(v, []).append((u, w))
+            edge_count += 1
+        if not adjacency:
+            raise ValueError("tree must have at least one vertex")
+        if edge_count != len(adjacency) - 1:
+            raise ValueError(
+                f"{edge_count} edges on {len(adjacency)} vertices is not a tree"
+            )
+        self._index: Dict[Hashable, int] = {}
+        self._vertices: List[Hashable] = []
+        for vertex in adjacency:
+            self._index[vertex] = len(self._vertices)
+            self._vertices.append(vertex)
+        self._build(adjacency)
+
+    @property
+    def vertices(self) -> List[Hashable]:
+        """All vertices of the tree, in insertion order."""
+        return list(self._vertices)
+
+    def _build(self, adjacency: Dict[Hashable, List[Tuple[Hashable, float]]]) -> None:
+        n = len(self._vertices)
+        root = 0
+        parent = np.full(n, -1, dtype=np.int64)
+        depth_w = np.zeros(n, dtype=np.float64)  # weighted depth
+        depth_h = np.zeros(n, dtype=np.int64)  # hop depth for LCA lifting
+        order: List[int] = []
+        seen = np.zeros(n, dtype=bool)
+        stack = [root]
+        seen[root] = True
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for v_label, w in adjacency[self._vertices[u]]:
+                v = self._index[v_label]
+                if not seen[v]:
+                    seen[v] = True
+                    parent[v] = u
+                    depth_w[v] = depth_w[u] + w
+                    depth_h[v] = depth_h[u] + 1
+                    stack.append(v)
+        if not seen.all():
+            raise ValueError("edges do not form a connected tree")
+        levels = max(1, int(np.ceil(np.log2(max(2, n)))))
+        up = np.full((levels, n), -1, dtype=np.int64)
+        up[0] = parent
+        up[0, root] = root
+        for level in range(1, levels):
+            up[level] = up[level - 1][up[level - 1]]
+        self._up = up
+        self._depth_w = depth_w
+        self._depth_h = depth_h
+
+    def _lca(self, u: int, v: int) -> int:
+        if self._depth_h[u] < self._depth_h[v]:
+            u, v = v, u
+        diff = int(self._depth_h[u] - self._depth_h[v])
+        level = 0
+        while diff:
+            if diff & 1:
+                u = int(self._up[level, u])
+            diff >>= 1
+            level += 1
+        if u == v:
+            return u
+        for level in range(self._up.shape[0] - 1, -1, -1):
+            if self._up[level, u] != self._up[level, v]:
+                u = int(self._up[level, u])
+                v = int(self._up[level, v])
+        return int(self._up[0, u])
+
+    def distance(self, x: Hashable, y: Hashable) -> float:
+        u = self._index[x]
+        v = self._index[y]
+        if u == v:
+            return 0.0
+        a = self._lca(u, v)
+        return float(self._depth_w[u] + self._depth_w[v] - 2.0 * self._depth_w[a])
+
+    def __repr__(self) -> str:
+        return f"TreeMetric(n={len(self._vertices)})"
+
+
+def path_tree_metric(n_vertices: int, weight: float = 1.0) -> TreeMetric:
+    """Return the tree metric of a path with vertices ``0..n_vertices-1``.
+
+    Used by Corollary 5: a path of ``2^(k-1)`` equal-weight edges achieves
+    the tree-metric maximum of ``C(k, 2) + 1`` distance permutations.
+    """
+    if n_vertices < 2:
+        raise ValueError("a path needs at least two vertices")
+    return TreeMetric((i, i + 1, weight) for i in range(n_vertices - 1))
+
+
+def random_tree_metric(
+    n_vertices: int,
+    rng: Optional[np.random.Generator] = None,
+    weighted: bool = False,
+) -> TreeMetric:
+    """Return a uniformly random recursive tree on ``0..n_vertices-1``.
+
+    Each vertex ``i >= 1`` attaches to a uniformly random earlier vertex;
+    with ``weighted=True`` the edge weights are uniform on ``(0, 1]``.
+    """
+    if n_vertices < 2:
+        raise ValueError("a tree metric needs at least two vertices")
+    rng = rng if rng is not None else np.random.default_rng()
+    edges = []
+    for i in range(1, n_vertices):
+        parent = int(rng.integers(0, i))
+        weight = float(1.0 - rng.random()) if weighted else 1.0
+        edges.append((parent, i, weight))
+    return TreeMetric(edges)

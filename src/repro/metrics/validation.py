@@ -1,0 +1,112 @@
+"""Metric-axiom checkers used by the test suite and dataset generators.
+
+A distance function is a metric when it satisfies identity of
+indiscernibles, symmetry, and the triangle inequality.  The checkers below
+test those axioms exhaustively over a finite sample and report the first
+violation found, which the property-based tests turn into counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Optional, Sequence
+
+from repro.metrics.base import Metric
+
+__all__ = [
+    "MetricViolation",
+    "check_identity",
+    "check_symmetry",
+    "check_triangle_inequality",
+    "check_metric_axioms",
+]
+
+
+@dataclass(frozen=True)
+class MetricViolation:
+    """A witnessed failure of a metric axiom."""
+
+    axiom: str
+    points: tuple
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.axiom} violated at {self.points}: {self.detail}"
+
+
+def check_identity(
+    metric: Metric, points: Sequence[Any], tol: float = 1e-9
+) -> Optional[MetricViolation]:
+    """Check ``d(x, x) == 0`` and ``d(x, y) > 0`` for distinct sampled points."""
+    for x in points:
+        d = metric.distance(x, x)
+        if abs(d) > tol:
+            return MetricViolation("identity", (x,), f"d(x, x) = {d}")
+    for x, y in combinations(points, 2):
+        if _same_point(x, y):
+            continue
+        d = metric.distance(x, y)
+        if d <= tol:
+            return MetricViolation(
+                "positivity", (x, y), f"d(x, y) = {d} for distinct points"
+            )
+    return None
+
+
+def check_symmetry(
+    metric: Metric, points: Sequence[Any], tol: float = 1e-9
+) -> Optional[MetricViolation]:
+    """Check ``d(x, y) == d(y, x)`` over all sampled pairs."""
+    for x, y in combinations(points, 2):
+        dxy = metric.distance(x, y)
+        dyx = metric.distance(y, x)
+        if abs(dxy - dyx) > tol:
+            return MetricViolation(
+                "symmetry", (x, y), f"d(x, y) = {dxy} but d(y, x) = {dyx}"
+            )
+    return None
+
+
+def check_triangle_inequality(
+    metric: Metric, points: Sequence[Any], tol: float = 1e-9
+) -> Optional[MetricViolation]:
+    """Check ``d(x, z) <= d(x, y) + d(y, z)`` over all sampled triples."""
+    n = len(points)
+    distances = metric.pairwise(points)
+    for i in range(n):
+        for j in range(n):
+            if j == i:
+                continue
+            for k in range(n):
+                if k == i or k == j:
+                    continue
+                slack = distances[i, j] + distances[j, k] - distances[i, k]
+                if slack < -tol:
+                    return MetricViolation(
+                        "triangle",
+                        (points[i], points[j], points[k]),
+                        f"d(x, z) exceeds d(x, y) + d(y, z) by {-slack}",
+                    )
+    return None
+
+
+def check_metric_axioms(
+    metric: Metric, points: Sequence[Any], tol: float = 1e-9
+) -> Optional[MetricViolation]:
+    """Run every axiom check; return the first violation or ``None``."""
+    for check in (check_identity, check_symmetry, check_triangle_inequality):
+        violation = check(metric, points, tol=tol)
+        if violation is not None:
+            return violation
+    return None
+
+
+def _same_point(x: Any, y: Any) -> bool:
+    """Equality that also works for numpy arrays."""
+    try:
+        return bool(x == y)
+    except ValueError:  # ambiguous array comparison
+        import numpy as np
+
+        return bool(np.array_equal(x, y))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    AngularDistance,
+    ChebyshevDistance,
+    CityblockDistance,
+    EuclideanDistance,
+    LevenshteinDistance,
+    PrefixDistance,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator, fresh per test."""
+    return np.random.default_rng(20080411)
+
+
+@pytest.fixture
+def small_vectors(rng):
+    """A 60-point 3-d vector database."""
+    return rng.random((60, 3))
+
+
+@pytest.fixture
+def small_words():
+    """A small string database with plenty of edit-distance ties."""
+    return [
+        "hello", "help", "held", "helm", "hero",
+        "world", "word", "ward", "warden", "wart",
+        "cat", "cart", "care", "core", "bore",
+        "gene", "genome", "genetic", "gem", "game",
+    ]
+
+
+@pytest.fixture(params=["l1", "l2", "linf"])
+def lp_metric(request):
+    """Parameterized fixture over the paper's three vector metrics."""
+    return {
+        "l1": CityblockDistance(),
+        "l2": EuclideanDistance(),
+        "linf": ChebyshevDistance(),
+    }[request.param]

@@ -1,0 +1,166 @@
+"""Tests for bit-packed permutation storage and entropy accounting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitpack import PackedPermutationStore, pack_ids, unpack_ids
+from repro.core.entropy import empirical_entropy_bits, entropy_report
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        ids = [0, 1, 2, 3, 7, 5]
+        assert list(unpack_ids(pack_ids(ids, 3), 3, 6)) == ids
+
+    def test_zero_width(self):
+        assert pack_ids([0, 0, 0], 0) == b""
+        assert list(unpack_ids(b"", 0, 3)) == [0, 0, 0]
+
+    def test_zero_width_rejects_nonzero(self):
+        with pytest.raises(ValueError):
+            pack_ids([0, 1], 0)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_ids([8], 3)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            pack_ids([1], -1)
+        with pytest.raises(ValueError):
+            pack_ids([1], 65)
+        with pytest.raises(ValueError):
+            unpack_ids(b"", 65, 0)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_ids(b"\x00", 8, 2)
+
+    def test_packed_size_is_ceil(self):
+        data = pack_ids(list(range(10)), 4)  # 40 bits -> 5 bytes
+        assert len(data) == 5
+
+    @given(
+        st.integers(1, 20).flatmap(
+            lambda width: st.tuples(
+                st.just(width),
+                st.lists(
+                    st.integers(0, 2**width - 1), min_size=0, max_size=200
+                ),
+            )
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, width_and_ids):
+        width, ids = width_and_ids
+        recovered = unpack_ids(pack_ids(ids, width), width, len(ids))
+        assert list(recovered) == ids
+
+    def test_wide_values(self):
+        ids = [2**40 + 1, 2**41 - 1, 0]
+        assert list(unpack_ids(pack_ids(ids, 41), 41, 3)) == ids
+
+
+class TestPackedStore:
+    @pytest.fixture
+    def perms(self, rng):
+        return np.array([rng.permutation(6) for _ in range(300)])
+
+    def test_roundtrip(self, perms):
+        store = PackedPermutationStore.from_permutations(perms)
+        np.testing.assert_array_equal(store.permutations(), perms)
+
+    def test_random_access(self, perms):
+        store = PackedPermutationStore.from_permutations(perms)
+        for i in (0, 7, 150, 299):
+            assert store[i] == tuple(int(v) for v in perms[i])
+
+    def test_index_error(self, perms):
+        store = PackedPermutationStore.from_permutations(perms)
+        with pytest.raises(IndexError):
+            store[300]
+
+    def test_bit_width_is_log_of_table(self, perms):
+        store = PackedPermutationStore.from_permutations(perms)
+        n_unique = np.unique(perms, axis=0).shape[0]
+        assert store.bit_width == math.ceil(math.log2(n_unique))
+
+    def test_single_permutation_database(self):
+        perms = np.tile(np.arange(5), (50, 1))
+        store = PackedPermutationStore.from_permutations(perms)
+        assert store.bit_width == 0
+        assert store.payload_bytes() == 0
+        assert store[49] == (0, 1, 2, 3, 4)
+        np.testing.assert_array_equal(store.permutations(), perms)
+
+    def test_payload_smaller_than_naive(self, perms):
+        """The measured packed payload beats byte-per-entry storage."""
+        store = PackedPermutationStore.from_permutations(perms)
+        naive_bytes = perms.size  # one byte per permutation entry
+        assert store.payload_bytes() < naive_bytes
+
+    def test_len(self, perms):
+        assert len(PackedPermutationStore.from_permutations(perms)) == 300
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            PackedPermutationStore.from_permutations(np.arange(5))
+
+
+class TestEntropy:
+    def test_uniform_distribution_maximal(self):
+        ids = np.repeat(np.arange(8), 10)
+        assert empirical_entropy_bits(ids) == pytest.approx(3.0)
+
+    def test_constant_distribution_zero(self):
+        assert empirical_entropy_bits([4] * 100) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_entropy_bits([])
+
+    def test_bounded_by_log_distinct(self, rng):
+        ids = rng.integers(0, 50, size=1000)
+        entropy = empirical_entropy_bits(ids)
+        distinct = len(np.unique(ids))
+        assert 0.0 <= entropy <= math.log2(distinct) + 1e-9
+
+    def test_skew_reduces_entropy(self):
+        balanced = [0, 1] * 50
+        skewed = [0] * 95 + [1] * 5
+        assert empirical_entropy_bits(skewed) < empirical_entropy_bits(balanced)
+
+    def test_report_fields(self, rng):
+        ids = rng.integers(0, 10, size=500)
+        report = entropy_report(ids)
+        assert report.n == 500
+        assert report.distinct == len(np.unique(ids))
+        assert 0.0 <= report.savings_fraction < 1.0
+        assert "savings" in report.as_row()
+
+    def test_report_single_value(self):
+        report = entropy_report([0] * 10)
+        assert report.fixed_bits == 0
+        assert report.entropy_bits == 0.0
+        assert report.savings_fraction == 0.0
+
+    def test_distperm_integration(self, rng):
+        """Real databases have skewed permutation frequencies: entropy
+        strictly below the fixed width."""
+        from repro.datasets import load_database
+        from repro.index import DistPermIndex
+
+        database = load_database("colors", n=800)
+        index = DistPermIndex(
+            database.points, database.metric, n_sites=8,
+            rng=np.random.default_rng(1),
+        )
+        report = index.entropy()
+        assert report.entropy_bits < report.fixed_bits
+        assert report.savings_fraction > 0.05

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import save_strings, save_vectors
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestTable1:
+    def test_default(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "392085" in out  # d=4, k=12
+
+    def test_custom_range(self, capsys):
+        assert main(["table1", "--max-d", "2", "--max-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "18" in out
+        assert "392085" not in out
+
+
+class TestBound:
+    def test_euclidean_exact(self, capsys):
+        assert main(["bound", "3", "5"]) == 0
+        assert "96" in capsys.readouterr().out
+
+    def test_l1(self, capsys):
+        assert main(["bound", "2", "4", "--p", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "upper bound" in out or "exact" in out
+
+    def test_inf(self, capsys):
+        assert main(["bound", "2", "5", "--p", "inf"]) == 0
+        assert "N_{2,inf}(5)" in capsys.readouterr().out
+
+    def test_invalid_p(self, capsys):
+        assert main(["bound", "2", "5", "--p", "3"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCensus:
+    def test_vector_census(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((200, 3)))
+        code = main([
+            "census", "--input", str(path), "--kind", "vectors",
+            "--metric", "l2", "--sites", "5", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "unique distance permutations" in out
+        assert "bits/element" in out
+
+    def test_string_census_with_dump(self, tmp_path, capsys):
+        path = tmp_path / "words.txt"
+        words = ["hello", "help", "word", "world", "cat", "cart", "care",
+                 "core", "bore", "gene"]
+        save_strings(path, words)
+        dump = tmp_path / "perms.txt"
+        code = main([
+            "census", "--input", str(path), "--kind", "strings",
+            "--metric", "levenshtein", "--sites", "3", "--dump", str(dump),
+        ])
+        assert code == 0
+        lines = dump.read_text().splitlines()
+        assert len(lines) == len(words)
+        # The paper's pipeline: unique lines == reported census.
+        out = capsys.readouterr().out
+        reported = int(out.split("unique distance permutations: ")[1].split()[0])
+        assert len(set(lines)) == reported
+
+    def test_too_many_sites(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((5, 2)))
+        code = main([
+            "census", "--input", str(path), "--kind", "vectors",
+            "--metric", "l2", "--sites", "10",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_database(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        code = main([
+            "census", "--input", str(path), "--kind", "strings",
+            "--metric", "levenshtein",
+        ])
+        assert code == 1
+
+
+class TestOtherCommands:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert "18" in out
+
+    def test_counterexample_small(self, capsys):
+        code = main(["counterexample", "--points", "200000"])
+        out = capsys.readouterr().out
+        assert "Euclidean limit N_3,2(5): 96" in out
+        assert code == 0  # exceeds the limit even at 200k points
+
+    def test_table3_slice(self, capsys):
+        code = main([
+            "table3", "--dims", "1", "--ks", "4", "--n", "2000",
+            "--runs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L1" in out and "Linf" in out
+
+    def test_table2_slice(self, capsys):
+        code = main(["table2", "--names", "long", "--n", "300"])
+        assert code == 0
+        assert "long" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Tests for the Theorem 6 and Corollary 5 constructions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.constructions import (
+    corollary5_path_space,
+    corollary5_sites,
+    theorem6_sites,
+    theorem6_witnesses,
+)
+from repro.core.counting import tree_permutation_bound
+from repro.core.permutation import (
+    count_distinct_permutations,
+    distance_permutations,
+)
+from repro.metrics import MinkowskiMetric
+
+
+class TestTheorem6Sites:
+    def test_shape(self):
+        for k in (2, 3, 5):
+            sites = theorem6_sites(k)
+            assert sites.shape == (k, k - 1)
+
+    def test_basis(self):
+        np.testing.assert_array_equal(theorem6_sites(2), [[-1.0], [1.0]])
+
+    def test_nested_structure(self):
+        """The first k-1 sites are the (k-1)-construction zero-extended."""
+        eps = 0.25
+        outer = theorem6_sites(4, eps)
+        inner = theorem6_sites(3, eps / 4.0)
+        np.testing.assert_allclose(outer[:3, :2], inner)
+        np.testing.assert_array_equal(outer[:3, 2], np.zeros(3))
+
+    def test_new_site_placement(self):
+        eps = 0.25
+        sites = theorem6_sites(4, eps)
+        assert sites[3, -1] == pytest.approx(1.0 + eps / 4.0)
+        np.testing.assert_array_equal(sites[3, :-1], np.zeros(2))
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            theorem6_sites(1)
+        with pytest.raises(ValueError):
+            theorem6_sites(3, epsilon=0.7)
+        with pytest.raises(ValueError):
+            theorem6_sites(3, epsilon=0.0)
+
+    def test_sites_near_unit_norm(self):
+        """All sites lie within epsilon of the unit sphere (Fig. 6)."""
+        sites = theorem6_sites(5, 0.25)
+        norms = np.linalg.norm(sites, axis=1)
+        assert np.all(np.abs(norms - 1.0) <= 0.25)
+
+
+class TestTheorem6Witnesses:
+    @pytest.mark.parametrize("p", [1, 2, math.inf])
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_all_permutations_realized(self, p, k):
+        witnesses = theorem6_witnesses(k, p=p)
+        assert len(witnesses) == math.factorial(k)
+
+    @pytest.mark.parametrize("p", [1, 2, math.inf])
+    def test_witnesses_have_claimed_permutation(self, p):
+        k = 4
+        metric = MinkowskiMetric(p)
+        sites = theorem6_sites(k)
+        witnesses = theorem6_witnesses(k, p=p)
+        for perm, point in witnesses.items():
+            distances = [metric.distance(point, s) for s in sites]
+            observed = tuple(
+                sorted(range(k), key=lambda i: (distances[i], i))
+            )
+            assert observed == perm
+
+    def test_witnesses_near_origin(self):
+        """Proof condition (2): every witness is within epsilon of 0."""
+        eps = 0.25
+        witnesses = theorem6_witnesses(4, p=2, epsilon=eps)
+        for point in witnesses.values():
+            assert np.linalg.norm(point) < eps
+
+    def test_witnesses_near_unit_distance_from_sites(self):
+        """Proof condition (3): |1 - d(x_i, y)| < epsilon."""
+        eps = 0.25
+        k = 4
+        sites = theorem6_sites(k, eps)
+        metric = MinkowskiMetric(2)
+        for point in theorem6_witnesses(k, p=2, epsilon=eps).values():
+            for site in sites:
+                assert abs(1.0 - metric.distance(point, site)) < eps
+
+    def test_witness_distances_distinct(self):
+        """Proof condition (4): no witness is equidistant from two sites."""
+        k = 4
+        sites = theorem6_sites(k)
+        metric = MinkowskiMetric(2)
+        for point in theorem6_witnesses(k, p=2).values():
+            distances = sorted(metric.distance(point, s) for s in sites)
+            gaps = np.diff(distances)
+            assert np.all(gaps > 0)
+
+    def test_k5_euclidean(self):
+        assert len(theorem6_witnesses(5, p=2)) == 120
+
+
+class TestCorollary5:
+    def test_site_labels(self):
+        assert corollary5_sites(2) == [0, 2]
+        assert corollary5_sites(4) == [0, 2, 4, 8]
+        assert corollary5_sites(6) == [0, 2, 4, 8, 16, 32]
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            corollary5_sites(1)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7])
+    def test_achieves_tree_bound_exactly(self, k):
+        """The paper's construction makes Theorem 4 tight."""
+        metric, sites = corollary5_path_space(k)
+        perms = distance_permutations(metric.vertices, sites, metric)
+        assert count_distinct_permutations(perms) == tree_permutation_bound(k)
+
+    def test_path_length(self):
+        metric, sites = corollary5_path_space(5)
+        assert len(metric.vertices) == 2**4 + 1
+        assert max(sites) == 16
+
+    def test_midpoints_distinct(self):
+        """The C(k,2) splitting midpoints of the proof are distinct."""
+        k = 6
+        labels = corollary5_sites(k)
+        midpoints = set()
+        for i in range(k):
+            for j in range(i + 1, k):
+                midpoints.add((labels[i] + labels[j]) // 2)
+        assert len(midpoints) == k * (k - 1) // 2

@@ -1,0 +1,194 @@
+"""Tests for the counting theory (Theorems 4, 7, 9; Corollary 8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting import (
+    PAPER_TABLE1,
+    cake_number,
+    euclidean_leading_term,
+    euclidean_permutation_count,
+    euclidean_table,
+    euclidean_upper_bound,
+    l1_hyperplanes_per_bisector,
+    linf_hyperplanes_per_bisector,
+    lp_permutation_bound,
+    max_permutations,
+    tree_permutation_bound,
+)
+
+
+class TestCakeNumbers:
+    def test_base_cases(self):
+        assert cake_number(0, 5) == 1
+        assert cake_number(3, 0) == 1
+
+    def test_line(self):
+        # m points cut a line into m + 1 pieces.
+        assert cake_number(1, 4) == 5
+
+    def test_plane(self):
+        # The lazy caterer sequence: 1, 2, 4, 7, 11, ...
+        assert [cake_number(2, m) for m in range(5)] == [1, 2, 4, 7, 11]
+
+    def test_space(self):
+        # The cake numbers proper: 1, 2, 4, 8, 15, 26, ...
+        assert [cake_number(3, m) for m in range(6)] == [1, 2, 4, 8, 15, 26]
+
+    @given(st.integers(0, 8), st.integers(0, 30))
+    @settings(max_examples=200, deadline=None)
+    def test_price_recurrence(self, d, m):
+        """S_d(m) = S_d(m-1) + S_{d-1}(m-1), the paper's Price citation."""
+        if d > 0 and m > 0:
+            assert cake_number(d, m) == cake_number(d, m - 1) + cake_number(
+                d - 1, m - 1
+            )
+
+    def test_saturates_at_2_power_m(self):
+        # With d >= m every subset of hyperplanes bounds a piece.
+        assert cake_number(10, 5) == 2**5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cake_number(-1, 3)
+        with pytest.raises(ValueError):
+            cake_number(3, -1)
+
+
+class TestEuclideanCount:
+    def test_matches_paper_table1_exactly(self):
+        """The headline regression: all 110 entries of Table 1."""
+        for d, row in PAPER_TABLE1.items():
+            for k, expected in row.items():
+                assert euclidean_permutation_count(d, k) == expected, (d, k)
+
+    def test_base_cases(self):
+        assert euclidean_permutation_count(0, 7) == 1
+        assert euclidean_permutation_count(5, 1) == 1
+
+    def test_one_dimension_is_tree_bound(self):
+        """The paper notes N_{1,2}(k) = C(k,2) + 1 (Theorem 4 agreement)."""
+        for k in range(1, 15):
+            assert euclidean_permutation_count(1, k) == tree_permutation_bound(k)
+
+    def test_lower_triangle_is_factorial(self):
+        """Theorem 6: all k! permutations occur once d >= k - 1."""
+        for k in range(1, 9):
+            for d in range(k - 1, k + 3):
+                assert euclidean_permutation_count(d, k) == math.factorial(k)
+
+    def test_strictly_below_factorial_above_diagonal(self):
+        for k in range(3, 10):
+            assert euclidean_permutation_count(k - 2, k) < math.factorial(k)
+
+    def test_monotone_in_d_and_k(self):
+        for d in range(1, 8):
+            for k in range(2, 10):
+                assert euclidean_permutation_count(d, k) <= euclidean_permutation_count(
+                    d + 1, k
+                )
+                assert euclidean_permutation_count(d, k) < euclidean_permutation_count(
+                    d, k + 1
+                )
+
+    def test_table_generator(self):
+        table = euclidean_table(dims=[2, 3], ks=[4, 5])
+        assert table == {2: {4: 18, 5: 46}, 3: {4: 24, 5: 96}}
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            euclidean_permutation_count(-1, 3)
+        with pytest.raises(ValueError):
+            euclidean_permutation_count(2, 0)
+
+
+class TestCorollary8:
+    @given(st.integers(0, 6), st.integers(1, 20))
+    @settings(max_examples=200, deadline=None)
+    def test_k_power_2d_bound(self, d, k):
+        assert euclidean_permutation_count(d, k) <= euclidean_upper_bound(d, k)
+
+    def test_leading_term_converges(self):
+        """N_{d,2}(k) / (k^{2d} / (2^d d!)) -> 1 as k grows."""
+        d = 3
+        ratios = [
+            euclidean_permutation_count(d, k) / euclidean_leading_term(d, k)
+            for k in (20, 60, 200)
+        ]
+        assert abs(ratios[-1] - 1.0) < 0.1
+        # Convergence: later ratios closer to 1.
+        assert abs(ratios[2] - 1.0) < abs(ratios[0] - 1.0)
+
+    def test_storage_is_order_d_log_k(self):
+        d, k = 4, 32
+        bits = math.log2(euclidean_permutation_count(d, k))
+        assert bits <= 2 * d * math.log2(k)
+
+
+class TestTreeBound:
+    def test_values(self):
+        assert tree_permutation_bound(1) == 1
+        assert tree_permutation_bound(2) == 2
+        assert tree_permutation_bound(4) == 7
+        assert tree_permutation_bound(12) == 67
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            tree_permutation_bound(0)
+
+
+class TestTheorem9:
+    def test_hyperplane_counts(self):
+        assert l1_hyperplanes_per_bisector(1) == 4
+        assert l1_hyperplanes_per_bisector(2) == 16
+        assert l1_hyperplanes_per_bisector(3) == 64
+        assert linf_hyperplanes_per_bisector(1) == 4
+        assert linf_hyperplanes_per_bisector(2) == 16
+        assert linf_hyperplanes_per_bisector(3) == 36
+
+    def test_l1_bound_at_least_euclidean(self):
+        """The L1 cake bound must not undercut the exact Euclidean count
+        (which the counterexample shows L1 can exceed)."""
+        for d in (1, 2, 3):
+            for k in (3, 4, 5, 6):
+                assert lp_permutation_bound(d, k, 1) >= euclidean_permutation_count(
+                    d, k
+                ) or lp_permutation_bound(d, k, 1) == math.factorial(k)
+
+    def test_counterexample_consistent(self):
+        """The paper's 108 observed L1 permutations must respect Thm 9."""
+        assert lp_permutation_bound(3, 5, 1) >= 108
+
+    def test_capped_at_factorial(self):
+        assert lp_permutation_bound(10, 3, 1) == 6
+        assert lp_permutation_bound(10, 4, math.inf) == 24
+
+    def test_p2_is_exact(self):
+        assert lp_permutation_bound(2, 4, 2) == 18
+
+    def test_rejects_other_p(self):
+        with pytest.raises(ValueError):
+            lp_permutation_bound(2, 4, 3)
+
+    def test_base_cases(self):
+        assert lp_permutation_bound(0, 5, 1) == 1
+        assert lp_permutation_bound(3, 1, math.inf) == 1
+
+
+class TestMaxPermutations:
+    def test_dispatches_to_factorial(self):
+        assert max_permutations(5, 4, 1) == 24
+        assert max_permutations(3, 4, math.inf) == 24
+
+    def test_euclidean_exact(self):
+        assert max_permutations(2, 4, 2) == 18
+
+    def test_l1_uses_cake_bound(self):
+        bound = max_permutations(2, 12, 1)
+        assert bound >= euclidean_permutation_count(2, 12)
+        assert bound <= math.factorial(12)

@@ -1,0 +1,118 @@
+"""Tests for document vectors and the SISAP database registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.documents import topic_document_vectors
+from repro.datasets.sisap import (
+    DATABASE_NAMES,
+    PAPER_TABLE2,
+    Database,
+    load_database,
+)
+from repro.metrics import AngularDistance, EuclideanDistance, LevenshteinDistance
+
+
+class TestTopicDocuments:
+    def test_shape_nonnegative_nonzero(self):
+        docs = topic_document_vectors(30, vocabulary=50, rng=np.random.default_rng(0))
+        assert docs.shape == (30, 50)
+        assert (docs >= 0).all()
+        assert docs.any(axis=1).all()  # angular metric needs nonzero rows
+
+    def test_deterministic(self):
+        a = topic_document_vectors(10, rng=np.random.default_rng(1))
+        b = topic_document_vectors(10, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_sparse_occupancy(self):
+        """Documents drawing from few topics should not use the whole
+        vocabulary."""
+        docs = topic_document_vectors(
+            20, vocabulary=400, n_topics=10, topics_per_doc=1,
+            document_length=50, rng=np.random.default_rng(2),
+        )
+        occupancy = (docs > 0).mean()
+        assert occupancy < 0.5
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            topic_document_vectors(0)
+        with pytest.raises(ValueError):
+            topic_document_vectors(5, n_topics=3, topics_per_doc=4)
+
+
+class TestRegistry:
+    def test_twelve_databases(self):
+        assert len(DATABASE_NAMES) == 12
+
+    def test_paper_counts_monotone_in_k(self):
+        """Counts for nested site prefixes can only grow with k; the
+        transcribed paper rows must respect that."""
+        for name, meta in PAPER_TABLE2.items():
+            counts = [meta["counts"][k] for k in range(3, 13)]
+            assert counts == sorted(counts), name
+
+    def test_paper_metadata_spot_checks(self):
+        assert PAPER_TABLE2["Dutch"]["n"] == 229328
+        assert PAPER_TABLE2["short"]["rho"] == pytest.approx(808.739)
+        assert PAPER_TABLE2["colors"]["counts"][12] == 4408
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_database("mystery")
+
+
+class TestLoadDatabase:
+    @pytest.mark.parametrize("name", ["English", "listeria"])
+    def test_string_databases(self, name):
+        database = load_database(name, n=300)
+        assert isinstance(database, Database)
+        assert len(database) == 300
+        assert isinstance(database.metric, LevenshteinDistance)
+        assert all(isinstance(p, str) for p in database.points)
+
+    @pytest.mark.parametrize("name,dim", [("colors", 112), ("nasa", 20)])
+    def test_vector_databases(self, name, dim):
+        database = load_database(name, n=300)
+        assert database.points.shape == (300, dim)
+        assert isinstance(database.metric, EuclideanDistance)
+
+    @pytest.mark.parametrize("name", ["long", "short"])
+    def test_document_databases(self, name):
+        database = load_database(name, n=200)
+        assert database.points.shape[0] == 200
+        assert isinstance(database.metric, AngularDistance)
+
+    def test_colors_rows_are_histograms(self):
+        database = load_database("colors", n=100)
+        sums = database.points.sum(axis=1)
+        np.testing.assert_allclose(sums, np.ones(100))
+        assert (database.points >= 0).all()
+
+    def test_default_size_caps(self):
+        database = load_database("long")
+        assert len(database) == 1265  # paper size, smaller than the cap
+        assert load_database("listeria").points  # smaller override applies
+
+    def test_scale_parameter(self):
+        database = load_database("English", scale=0.01)
+        assert len(database) == int(np.ceil(69069 * 0.01))
+
+    def test_seeded_reproducibility(self):
+        a = load_database("nasa", n=50, seed=5)
+        b = load_database("nasa", n=50, seed=5)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = load_database("nasa", n=50, seed=5)
+        b = load_database("nasa", n=50, seed=6)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_paper_metadata_forwarded(self):
+        database = load_database("colors", n=50)
+        assert database.paper_n == 112544
+        assert database.paper_rho == pytest.approx(2.745)
+        assert "L2" in database.description

@@ -1,0 +1,88 @@
+"""Tests for the ASCII database formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_permutations,
+    load_strings,
+    load_vectors,
+    save_permutations,
+    save_strings,
+    save_vectors,
+)
+
+
+class TestVectors:
+    def test_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "vectors.txt"
+        original = rng.random((20, 4))
+        save_vectors(path, original)
+        loaded = load_vectors(path)
+        np.testing.assert_array_equal(original, loaded)  # repr() is lossless
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert load_vectors(path).shape == (0, 0)
+
+    def test_rejects_ragged(self, tmp_path):
+        path = tmp_path / "ragged.txt"
+        path.write_text("1.0 2.0\n3.0\n")
+        with pytest.raises(ValueError):
+            load_vectors(path)
+
+    def test_rejects_non_2d(self, tmp_path, rng):
+        with pytest.raises(ValueError):
+            save_vectors(tmp_path / "bad.txt", rng.random(5))
+
+
+class TestStrings:
+    def test_roundtrip(self, tmp_path, small_words):
+        path = tmp_path / "words.txt"
+        save_strings(path, small_words)
+        assert load_strings(path) == small_words
+
+    def test_unicode_roundtrip(self, tmp_path):
+        path = tmp_path / "unicode.txt"
+        words = ["héllo", "wörld", "ñandú"]
+        save_strings(path, words)
+        assert load_strings(path) == words
+
+    def test_rejects_embedded_newline(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_strings(tmp_path / "bad.txt", ["a\nb"])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.txt"
+        path.write_text("alpha\n\nbeta\n")
+        assert load_strings(path) == ["alpha", "beta"]
+
+
+class TestPermutations:
+    def test_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "perms.txt"
+        perms = np.array([rng.permutation(6) for _ in range(15)])
+        save_permutations(path, perms)
+        np.testing.assert_array_equal(load_permutations(path), perms)
+
+    def test_ascii_format_is_sort_uniq_friendly(self, tmp_path):
+        """The paper counts unique permutations with sort | uniq | wc; one
+        space-separated permutation per line supports exactly that."""
+        path = tmp_path / "perms.txt"
+        perms = np.array([[0, 1, 2], [2, 1, 0], [0, 1, 2]])
+        save_permutations(path, perms)
+        lines = path.read_text().splitlines()
+        assert lines == ["0 1 2", "2 1 0", "0 1 2"]
+        assert len(set(lines)) == 2
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "none.txt"
+        path.write_text("")
+        assert load_permutations(path).shape == (0, 0)
+
+    def test_rejects_non_matrix(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_permutations(tmp_path / "bad.txt", np.array([0, 1, 2]))

@@ -1,0 +1,125 @@
+"""Tests for dictionary and sequence generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dictionaries import LANGUAGES, synthetic_dictionary
+from repro.datasets.sequences import (
+    genome_prefix_sequences,
+    mutation_cascade_sequences,
+)
+
+
+class TestDictionaries:
+    def test_all_seven_languages_present(self):
+        assert set(LANGUAGES) == {
+            "Dutch", "English", "French", "German", "Italian",
+            "Norwegian", "Spanish",
+        }
+
+    def test_language_models_have_normalizable_frequencies(self):
+        for model in LANGUAGES.values():
+            symbols, probabilities = model.alphabet()
+            assert len(symbols) == len(set(symbols))
+            assert probabilities.sum() == pytest.approx(1.0)
+            assert (probabilities > 0).all()
+
+    def test_generates_n_distinct_sorted_words(self):
+        words = synthetic_dictionary("English", 500, np.random.default_rng(0))
+        assert len(words) == 500
+        assert len(set(words)) == 500
+        assert words == sorted(words)
+
+    def test_words_use_language_alphabet(self):
+        words = synthetic_dictionary("Dutch", 200, np.random.default_rng(1))
+        alphabet = set(LANGUAGES["Dutch"].letters)
+        for word in words:
+            assert set(word) <= alphabet
+
+    def test_word_lengths_plausible(self):
+        words = synthetic_dictionary("German", 400, np.random.default_rng(2))
+        lengths = [len(w) for w in words]
+        assert 2 <= min(lengths)
+        assert max(lengths) <= 24
+        mean = sum(lengths) / len(lengths)
+        assert 7 <= mean <= 14  # German model targets ~10.5
+
+    def test_deterministic(self):
+        a = synthetic_dictionary("French", 100, np.random.default_rng(3))
+        b = synthetic_dictionary("French", 100, np.random.default_rng(3))
+        assert a == b
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(KeyError):
+            synthetic_dictionary("Klingon", 10)
+
+    def test_paper_metadata_attached(self):
+        assert LANGUAGES["Dutch"].paper_n == 229328
+        assert LANGUAGES["English"].paper_rho == pytest.approx(8.492)
+
+
+class TestGenomePrefixSequences:
+    def test_count_and_alphabet(self):
+        seqs = genome_prefix_sequences(100, rng=np.random.default_rng(0))
+        assert len(seqs) == 100
+        assert all(set(s) <= set("acgt") for s in seqs)
+
+    def test_length_range(self):
+        seqs = genome_prefix_sequences(
+            200, min_length=10, max_length=50, rng=np.random.default_rng(1)
+        )
+        assert all(10 <= len(s) <= 50 for s in seqs)
+
+    def test_length_spread_is_wide(self):
+        """Length-dominated distances need widely varying lengths."""
+        seqs = genome_prefix_sequences(300, rng=np.random.default_rng(2))
+        lengths = [len(s) for s in seqs]
+        assert max(lengths) - min(lengths) > 50
+
+    def test_prefix_structure_mostly_preserved(self):
+        """Few mutations: two sequences agree on most of the shared prefix."""
+        seqs = genome_prefix_sequences(
+            50, mutation_rate=1.0, rng=np.random.default_rng(3)
+        )
+        a, b = seqs[0], seqs[1]
+        shared = min(len(a), len(b))
+        agreement = sum(x == y for x, y in zip(a[:shared], b[:shared]))
+        assert agreement > 0.8 * shared
+
+    def test_deterministic(self):
+        a = genome_prefix_sequences(20, rng=np.random.default_rng(4))
+        b = genome_prefix_sequences(20, rng=np.random.default_rng(4))
+        assert a == b
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            genome_prefix_sequences(0)
+        with pytest.raises(ValueError):
+            genome_prefix_sequences(5, min_length=50, max_length=20)
+
+
+class TestMutationCascade:
+    def test_count_and_alphabet(self):
+        seqs = mutation_cascade_sequences(60, rng=np.random.default_rng(0))
+        assert len(seqs) == 60
+        assert all(set(s) <= set("acgt") for s in seqs)
+
+    def test_first_is_ancestor_of_given_length(self):
+        seqs = mutation_cascade_sequences(
+            10, ancestor_length=77, rng=np.random.default_rng(1)
+        )
+        assert len(seqs[0]) == 77
+
+    def test_lengths_stay_positive(self):
+        seqs = mutation_cascade_sequences(
+            200, ancestor_length=10, mean_edits=8.0, rng=np.random.default_rng(2)
+        )
+        assert all(len(s) >= 1 for s in seqs)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            mutation_cascade_sequences(0)
+        with pytest.raises(ValueError):
+            mutation_cascade_sequences(5, ancestor_length=4)

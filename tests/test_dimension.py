@@ -1,0 +1,138 @@
+"""Tests for dimensionality statistics (Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counting import euclidean_permutation_count
+from repro.core.dimension import (
+    estimate_rho,
+    intrinsic_dimensionality,
+    permutation_dimension,
+    sample_distances,
+)
+from repro.datasets.vectors import latent_manifold_vectors, uniform_vectors
+from repro.metrics import EuclideanDistance
+
+
+class TestIntrinsicDimensionality:
+    def test_known_value(self):
+        # Distances with mean 2 and variance 1: rho = 4 / 2 = 2.
+        distances = [1.0, 3.0, 1.0, 3.0]
+        assert intrinsic_dimensionality(distances) == pytest.approx(2.0)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            intrinsic_dimensionality([1.0])
+
+    def test_rejects_constant_distances(self):
+        with pytest.raises(ValueError):
+            intrinsic_dimensionality([2.0, 2.0, 2.0])
+
+    def test_grows_with_dimension(self, rng):
+        """rho of the uniform cube increases with dimension — the basis of
+        its use as a dimensionality measure."""
+        metric = EuclideanDistance()
+        rhos = []
+        for d in (1, 3, 6, 10):
+            points = uniform_vectors(800, d, rng)
+            rhos.append(estimate_rho(points, metric, n_pairs=800, rng=rng))
+        assert rhos == sorted(rhos)
+
+    def test_scale_invariant(self, rng):
+        metric = EuclideanDistance()
+        points = uniform_vectors(300, 4, rng)
+        rho_a = estimate_rho(points, metric, n_pairs=500, rng=np.random.default_rng(5))
+        rho_b = estimate_rho(
+            points * 100.0, metric, n_pairs=500, rng=np.random.default_rng(5)
+        )
+        assert rho_a == pytest.approx(rho_b)
+
+    def test_manifold_has_low_rho(self, rng):
+        """A 2-manifold embedded in 50 dimensions keeps rho near 2-d."""
+        metric = EuclideanDistance()
+        flat = latent_manifold_vectors(500, 50, 2, noise=0.001, rng=rng)
+        ambient = uniform_vectors(500, 50, rng)
+        rho_flat = estimate_rho(flat, metric, n_pairs=600, rng=rng)
+        rho_ambient = estimate_rho(ambient, metric, n_pairs=600, rng=rng)
+        assert rho_flat < rho_ambient / 3
+
+
+class TestSampleDistances:
+    def test_no_self_pairs(self, rng):
+        points = uniform_vectors(50, 2, rng)
+        distances = sample_distances(points, EuclideanDistance(), 300, rng)
+        assert np.all(distances > 0)
+
+    def test_sample_size(self, rng):
+        points = uniform_vectors(20, 2, rng)
+        assert len(sample_distances(points, EuclideanDistance(), 123, rng)) == 123
+
+    def test_rejects_single_point(self, rng):
+        with pytest.raises(ValueError):
+            sample_distances(uniform_vectors(1, 2, rng), EuclideanDistance(), 5, rng)
+
+
+class TestPermutationDimension:
+    def test_exact_table_values_roundtrip(self):
+        """observed = N_{d,2}(k) must estimate exactly d."""
+        for d in (1, 2, 3, 5):
+            for k in (6, 8, 12):
+                observed = euclidean_permutation_count(d, k)
+                assert permutation_dimension(observed, k) == pytest.approx(float(d))
+
+    def test_interpolates_between_dimensions(self):
+        k = 8
+        low = euclidean_permutation_count(2, k)
+        high = euclidean_permutation_count(3, k)
+        observed = int(np.sqrt(low * high))  # geometric midpoint
+        estimate = permutation_dimension(observed, k)
+        assert 2.0 < estimate < 3.0
+        assert estimate == pytest.approx(2.5, abs=0.05)
+
+    def test_single_permutation_is_zero_dimensional(self):
+        assert permutation_dimension(1, 8) == 0.0
+
+    def test_saturates_at_max_dimension(self):
+        import math
+
+        assert permutation_dimension(
+            math.factorial(6), 6, max_dimension=16
+        ) <= 16.0
+
+    def test_monotone_in_observed(self):
+        k = 10
+        estimates = [
+            permutation_dimension(count, k)
+            for count in (2, 10, 100, 1000, 10000)
+        ]
+        assert estimates == sorted(estimates)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            permutation_dimension(0, 5)
+        with pytest.raises(ValueError):
+            permutation_dimension(10, 1)
+
+    def test_custom_reference(self):
+        """A calibration curve replaces the theoretical maximum."""
+        reference = lambda d, k: float((d + 1) ** k)
+        estimate = permutation_dimension(8, 3, reference=reference)
+        assert estimate == pytest.approx(1.0)
+
+    def test_measured_uniform_data_dimension_close(self, rng):
+        """Uniform 3-d data should estimate a dimension in [1.5, 3.5] from
+        its permutation count (the paper's Table 2 commentary approach)."""
+        from repro.core.permutation import (
+            count_distinct_permutations,
+            distance_permutations,
+        )
+
+        points = uniform_vectors(4000, 3, rng)
+        k = 8
+        sites = points[rng.choice(4000, size=k, replace=False)]
+        perms = distance_permutations(points, sites, EuclideanDistance())
+        observed = count_distinct_permutations(perms)
+        estimate = permutation_dimension(observed, k)
+        assert 1.5 <= estimate <= 3.5

@@ -1,0 +1,121 @@
+"""Tests for the figure reproductions and the L1 counterexample."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counting import euclidean_permutation_count
+from repro.experiments.counterexample import (
+    PAPER_COUNTEREXAMPLE_SITES,
+    counterexample_census,
+    search_counterexamples,
+)
+from repro.experiments.figures import (
+    cells_hit_experiment,
+    figure_cell_counts,
+    paperlike_sites,
+)
+
+
+@pytest.fixture(scope="module")
+def counts():
+    return figure_cell_counts(resolution=320)
+
+
+class TestFigures1Through4:
+    def test_fig1_order1_voronoi_has_four_cells(self, counts):
+        assert counts["order1_cells"] == 4
+
+    def test_fig2_order2_refines_order1(self, counts):
+        assert counts["order2_cells"] >= counts["order1_cells"]
+
+    def test_fig3_euclidean_has_18_cells(self, counts):
+        """'the diagram only contains 18 cells, not even one for each
+        permutation' — and 18 = N_{2,2}(4)."""
+        assert counts["l2_cells_exact"] == 18
+        assert euclidean_permutation_count(2, 4) == 18
+
+    def test_fig3_grid_engine_agrees_with_exact(self, counts):
+        assert counts["l2_cells_grid"] == counts["l2_cells_exact"]
+
+    def test_fig4_l1_also_has_18_cells(self, counts):
+        """'the system of bisectors in Fig. 4, with the L1 metric, also
+        produces 18 cells'."""
+        assert counts["l1_cells_grid"] == 18
+
+    def test_fig4_permutation_sets_differ(self, counts):
+        """'but they are not the same 18 distance permutations. Some
+        permutations exist in each diagram that are not in the other.'"""
+        assert counts["l1_only"]
+        assert counts["l2_only"]
+        assert len(counts["l1_only"]) == len(counts["l2_only"])
+
+    def test_paperlike_sites_shape(self):
+        sites = paperlike_sites()
+        assert sites.shape == (4, 2)
+        assert (sites >= 0).all() and (sites <= 1).all()
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return cells_hit_experiment(
+            sizes=(10, 100, 2000), resolution=320
+        )
+
+    def test_box_realizes_fewer_than_space(self, result):
+        """Cross-hatched cells of Fig. 7: outside the data range forever."""
+        assert result.realizable_in_box < result.realizable_in_space
+
+    def test_hits_monotone_in_database_size(self, result):
+        sizes = sorted(result.hits_by_size)
+        hits = [result.hits_by_size[s] for s in sizes]
+        assert hits == sorted(hits)
+
+    def test_hits_saturate_at_box_count(self, result):
+        for hits in result.hits_by_size.values():
+            assert hits <= result.realizable_in_box
+        assert result.hits_by_size[2000] == result.realizable_in_box
+
+    def test_small_database_misses_cells(self, result):
+        """'Some cells ... may not happen to contain any database points'."""
+        assert result.hits_by_size[10] < result.realizable_in_box
+
+
+class TestCounterexample:
+    def test_paper_sites_exceed_euclidean_limit(self):
+        """Eq. 12: five 3-d L1 sites with more permutations than
+        N_{3,2}(5) = 96 (the paper observed 108 with 10^6 points)."""
+        result = counterexample_census(n_points=400_000, seed=20080411)
+        assert result.euclidean_limit == 96
+        assert result.observed > 96
+        assert result.exceeds
+
+    def test_observed_close_to_paper_at_full_scale_is_documented(self):
+        # At reduced n the count is a lower bound; it must already be
+        # within the plausible band around the paper's 108.
+        result = counterexample_census(n_points=400_000, seed=1)
+        assert 96 < result.observed <= 120
+
+    def test_euclidean_sites_do_not_exceed(self):
+        """Under L2 the same sites must respect the Theorem 7 limit."""
+        result = counterexample_census(
+            PAPER_COUNTEREXAMPLE_SITES, p=2.0, n_points=200_000
+        )
+        assert result.observed <= 96
+        assert not result.exceeds
+
+    def test_result_metadata(self):
+        result = counterexample_census(n_points=10_000)
+        assert result.d == 3
+        assert result.k == 5
+        assert result.p == 1.0
+
+    def test_search_returns_only_exceeding_configs(self):
+        successes = search_counterexamples(
+            d=3, k=5, p=1.0, n_trials=4, n_points=50_000, seed=3
+        )
+        for result, sites in successes:
+            assert result.exceeds
+            assert sites.shape == (5, 3)

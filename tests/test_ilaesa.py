@@ -1,0 +1,98 @@
+"""Tests for permutation-ordered LAESA (the paper's iLAESA suggestion)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index import LinearScan, PivotIndex
+from repro.metrics import EuclideanDistance, LevenshteinDistance
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(33)
+    points = rng.random((500, 4))
+    queries = rng.random((12, 4))
+    metric = EuclideanDistance()
+    return points, queries, metric, LinearScan(points, metric)
+
+
+class TestExactness:
+    def test_knn_matches_linear(self, setup):
+        points, queries, metric, oracle = setup
+        index = PivotIndex(
+            points, metric, n_pivots=10, candidate_order="permutation",
+            rng=np.random.default_rng(1),
+        )
+        for query in queries:
+            for k in (1, 5, 20):
+                got = sorted(round(n.distance, 9)
+                             for n in index.knn_query(query, k))
+                want = sorted(round(n.distance, 9)
+                              for n in oracle.knn_query(query, k))
+                assert got == want
+
+    def test_range_unaffected_by_order_option(self, setup):
+        points, queries, metric, oracle = setup
+        index = PivotIndex(
+            points, metric, n_pivots=10, candidate_order="permutation",
+            rng=np.random.default_rng(2),
+        )
+        for query in queries[:4]:
+            got = [(n.index, round(n.distance, 9))
+                   for n in index.range_query(query, 0.3)]
+            want = [(n.index, round(n.distance, 9))
+                    for n in oracle.range_query(query, 0.3)]
+            assert got == want
+
+    def test_string_metric(self):
+        words = ["hello", "help", "held", "word", "world", "ward",
+                 "care", "core", "cart", "carp"] * 10
+        metric = LevenshteinDistance()
+        oracle = LinearScan(words, metric)
+        index = PivotIndex(
+            words, metric, n_pivots=4, candidate_order="permutation",
+            rng=np.random.default_rng(3),
+        )
+        for query in ("hold", "wars"):
+            got = sorted(n.distance for n in index.knn_query(query, 5))
+            want = sorted(n.distance for n in oracle.knn_query(query, 5))
+            assert got == want
+
+
+class TestBehaviour:
+    def test_rejects_unknown_order(self, setup):
+        points, _, metric, _ = setup
+        with pytest.raises(ValueError):
+            PivotIndex(points, metric, candidate_order="sideways")
+
+    def test_pivot_permutations_precomputed_free(self, setup):
+        """Deriving pivot permutations from the table must add no metric
+        evaluations beyond the standard LAESA build."""
+        points, _, metric, _ = setup
+        classic = PivotIndex(points, metric, n_pivots=8,
+                             pivot_strategy="first")
+        ordered = PivotIndex(points, metric, n_pivots=8,
+                             pivot_strategy="first",
+                             candidate_order="permutation")
+        assert ordered.stats.build_distances == classic.stats.build_distances
+
+    def test_cost_same_regime_as_classic(self, setup):
+        """Permutation ordering loses the sorted-bound early exit but
+        gains earlier radius shrinking; both must stay well below a
+        linear scan, within 3x of each other."""
+        points, queries, metric, _ = setup
+        classic = PivotIndex(points, metric, n_pivots=10,
+                             rng=np.random.default_rng(4))
+        ordered = PivotIndex(points, metric, n_pivots=10,
+                             candidate_order="permutation",
+                             rng=np.random.default_rng(4))
+        for index in (classic, ordered):
+            index.reset_stats()
+            for query in queries:
+                index.knn_query(query, 3)
+        assert ordered.stats.distances_per_query < 0.8 * len(points)
+        ratio = (ordered.stats.distances_per_query
+                 / classic.stats.distances_per_query)
+        assert ratio < 3.0

@@ -1,0 +1,200 @@
+"""End-to-end integration tests across substrates.
+
+Each test walks a full pipeline a downstream user would run: generate a
+database, build an index, measure permutations, reason about storage or
+dimensionality — crossing module boundaries on purpose.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    count_distinct_permutations,
+    distance_permutations,
+    euclidean_permutation_count,
+    max_permutations,
+    permutation_dimension,
+    tree_permutation_bound,
+)
+from repro.core.permutation import distinct_permutations
+from repro.datasets import load_database, save_permutations, load_permutations
+from repro.datasets.vectors import uniform_vectors
+from repro.index import DistPermIndex, LinearScan, PivotIndex
+from repro.metrics import EuclideanDistance, TreeMetric, random_tree_metric
+
+
+class TestTheoryMeetsMeasurement:
+    """The paper's central claim: measured counts respect the theory."""
+
+    @pytest.mark.parametrize("d,k", [(1, 5), (2, 4), (2, 6), (3, 5)])
+    def test_euclidean_counts_respect_theorem7(self, d, k, rng):
+        points = uniform_vectors(20_000, d, rng)
+        sites = uniform_vectors(k, d, rng)
+        perms = distance_permutations(points, sites, EuclideanDistance())
+        assert count_distinct_permutations(perms) <= euclidean_permutation_count(d, k)
+
+    def test_tree_counts_respect_theorem4(self, rng):
+        for trial in range(5):
+            tree = random_tree_metric(200, rng=rng, weighted=bool(trial % 2))
+            k = int(rng.integers(2, 7))
+            sites = [int(i) for i in rng.choice(200, size=k, replace=False)]
+            perms = distance_permutations(tree.vertices, sites, tree)
+            assert count_distinct_permutations(perms) <= tree_permutation_bound(k)
+
+    def test_lp_counts_respect_theorem9(self, rng):
+        from repro.metrics import CityblockDistance
+
+        d, k = 2, 5
+        points = uniform_vectors(30_000, d, rng)
+        sites = uniform_vectors(k, d, rng)
+        perms = distance_permutations(points, sites, CityblockDistance())
+        assert count_distinct_permutations(perms) <= max_permutations(d, k, 1)
+
+    def test_database_census_through_index_and_files(self, tmp_path, rng):
+        """Census via DistPermIndex == census via ASCII round trip — the
+        paper's sort | uniq | wc pipeline."""
+        database = load_database("nasa", n=500)
+        index = DistPermIndex(
+            database.points, database.metric, n_sites=7,
+            rng=np.random.default_rng(1),
+        )
+        path = tmp_path / "permutations.txt"
+        save_permutations(path, index.permutations)
+        reloaded = load_permutations(path)
+        assert count_distinct_permutations(reloaded) == index.unique_permutations()
+
+
+class TestStoragePipeline:
+    def test_measured_storage_beats_baselines_on_low_dim_data(self, rng):
+        """colors-like data: few permutations => big storage win."""
+        database = load_database("colors", n=2000)
+        index = DistPermIndex(
+            database.points, database.metric, n_sites=12,
+            rng=np.random.default_rng(2),
+        )
+        report = index.storage()
+        assert report.total_table < report.total_naive
+        assert report.total_table < report.total_laesa
+        # The per-element cost is within the Euclidean-equivalent budget:
+        # colors behaves like a low-dimensional space.
+        assert report.bits_permutation_table < report.bits_naive_permutation
+
+    def test_permutation_bits_track_dimension(self, rng):
+        """Higher-dimensional data realizes more permutations and needs
+        more bits — the Θ(d log k) scaling made concrete."""
+        k = 10
+        bits = []
+        for d in (1, 3, 6):
+            points = uniform_vectors(5000, d, rng)
+            index = DistPermIndex(
+                points, EuclideanDistance(), n_sites=k,
+                rng=np.random.default_rng(d),
+            )
+            bits.append(index.storage().bits_permutation_table)
+        assert bits == sorted(bits)
+        assert bits[0] < bits[-1]
+
+
+class TestDimensionPipeline:
+    def test_estimates_separate_low_from_high_dimensional_data(self):
+        """The paper's crispest Table 2 commentary: colors behaves like a
+        roughly two-dimensional space while nasa and the dictionaries
+        behave like clearly higher-dimensional ones.  (Separating nasa
+        from the dictionaries needs the full 40k-230k element databases;
+        at analogue scale we assert the robust part of the ordering.)
+        Counts are averaged over site draws to de-noise the estimate."""
+        k = 7
+        estimates = {}
+        for name in ("colors", "nasa", "English"):
+            database = load_database(name, n=3000)
+            counts = []
+            for seed in range(3):
+                index = DistPermIndex(
+                    database.points, database.metric, n_sites=k,
+                    rng=np.random.default_rng(seed),
+                )
+                counts.append(index.unique_permutations())
+            estimates[name] = permutation_dimension(
+                int(np.mean(counts)), k
+            )
+        assert 1.0 <= estimates["colors"] <= 2.6
+        assert estimates["colors"] + 0.5 < estimates["nasa"]
+        assert estimates["colors"] + 0.5 < estimates["English"]
+
+    def test_uniform_data_estimate_near_truth(self, rng):
+        for d in (2, 4):
+            points = uniform_vectors(20_000, d, rng)
+            sites = points[rng.choice(20_000, size=10, replace=False)]
+            observed = count_distinct_permutations(
+                distance_permutations(points, sites, EuclideanDistance())
+            )
+            estimate = permutation_dimension(observed, 10)
+            assert d - 1.5 <= estimate <= d + 1.0
+
+
+class TestSearchPipeline:
+    def test_permutation_index_competitive_with_laesa_storage_story(self, rng):
+        """Build both indexes on one database; the permutation index must
+        (a) answer approximate queries with decent recall at a fraction of
+        the budget and (b) store fewer bits than LAESA."""
+        points = uniform_vectors(1500, 4, rng)
+        metric = EuclideanDistance()
+        k = 10
+        laesa = PivotIndex(points, metric, n_pivots=k,
+                           rng=np.random.default_rng(4))
+        distperm = DistPermIndex(points, metric, n_sites=k,
+                                 rng=np.random.default_rng(4))
+        oracle = LinearScan(points, metric)
+        hits = total = 0
+        for i in range(10):
+            query = rng.random(4)
+            truth = {n.index for n in oracle.knn_query(query, 5)}
+            got = {
+                n.index for n in distperm.knn_approx(query, 5, budget=150)
+            }
+            hits += len(truth & got)
+            total += 5
+        recall = hits / total
+        assert recall >= 0.7
+        report = distperm.storage()
+        assert report.total_table < report.total_laesa
+
+    def test_prefix_census_monotone(self, rng):
+        """Adding sites never decreases the census (nested prefixes)."""
+        points = uniform_vectors(3000, 3, rng)
+        metric = EuclideanDistance()
+        site_indices = [int(i) for i in rng.choice(3000, size=12, replace=False)]
+        sites = points[site_indices]
+        distances = metric.to_sites(points, sites)
+        from repro.core.permutation import permutations_from_distances
+
+        counts = []
+        for k in range(2, 13):
+            perms = permutations_from_distances(distances[:, :k])
+            counts.append(count_distinct_permutations(perms))
+        assert counts == sorted(counts)
+
+    def test_diminishing_returns_after_k_twice_d(self, rng):
+        """'once we have about twice as many sites as dimensions, there is
+        little value in adding more sites' — the census growth rate must
+        collapse once k >> 2d."""
+        d = 2
+        points = uniform_vectors(30_000, d, rng)
+        metric = EuclideanDistance()
+        site_indices = [int(i) for i in rng.choice(30_000, size=14, replace=False)]
+        sites = points[site_indices]
+        distances = metric.to_sites(points, sites)
+        from repro.core.permutation import permutations_from_distances
+
+        def census(k):
+            return count_distinct_permutations(
+                permutations_from_distances(distances[:, :k])
+            )
+
+        early_ratio = census(4) / census(3)
+        late_ratio = census(14) / census(13)
+        assert late_ratio < early_ratio

@@ -1,0 +1,86 @@
+"""Tests for the metric base classes and instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import CountingMetric, EuclideanDistance, LevenshteinDistance
+from repro.metrics.base import Metric
+
+
+class _Discrete(Metric):
+    """Minimal metric implementing only the scalar method."""
+
+    name = "discrete"
+
+    def distance(self, x, y) -> float:
+        return 0.0 if x == y else 1.0
+
+
+class TestDefaultBatchMethods:
+    def test_matrix_falls_back_to_loops(self):
+        metric = _Discrete()
+        out = metric.matrix(["a", "b"], ["a", "b", "c"])
+        np.testing.assert_array_equal(
+            out, [[0.0, 1.0, 1.0], [1.0, 0.0, 1.0]]
+        )
+
+    def test_pairwise_symmetric_zero_diagonal(self):
+        metric = _Discrete()
+        out = metric.pairwise(["a", "b", "c", "a"])
+        np.testing.assert_allclose(out, out.T)
+        assert out[0, 3] == 0.0
+        assert out[0, 1] == 1.0
+        np.testing.assert_array_equal(np.diag(out), np.zeros(4))
+
+    def test_to_sites_shape(self):
+        metric = _Discrete()
+        out = metric.to_sites(list("abcd"), list("xy"))
+        assert out.shape == (4, 2)
+
+    def test_callable(self):
+        assert _Discrete()("a", "b") == 1.0
+
+
+class TestCountingMetric:
+    def test_counts_scalar_calls(self):
+        counter = CountingMetric(_Discrete())
+        counter.distance("a", "b")
+        counter.distance("a", "a")
+        assert counter.count == 2
+
+    def test_counts_matrix_entries(self):
+        counter = CountingMetric(_Discrete())
+        counter.matrix(list("abc"), list("xy"))
+        assert counter.count == 6
+
+    def test_counts_to_sites(self):
+        counter = CountingMetric(_Discrete())
+        counter.to_sites(list("abcd"), list("xyz"))
+        assert counter.count == 12
+
+    def test_counts_pairwise_half_matrix(self):
+        counter = CountingMetric(_Discrete())
+        counter.pairwise(list("abcde"))
+        assert counter.count == 10
+
+    def test_reset(self):
+        counter = CountingMetric(_Discrete())
+        counter.distance("a", "b")
+        counter.reset()
+        assert counter.count == 0
+
+    def test_values_pass_through(self, rng):
+        inner = EuclideanDistance()
+        counter = CountingMetric(inner)
+        x, y = rng.random(3), rng.random(3)
+        assert counter.distance(x, y) == inner.distance(x, y)
+
+    def test_wraps_name(self):
+        assert CountingMetric(LevenshteinDistance()).name == "levenshtein"
+
+    def test_repr_shows_count(self):
+        counter = CountingMetric(_Discrete())
+        counter.distance("a", "b")
+        assert "count=1" in repr(counter)

@@ -1,0 +1,211 @@
+"""Tests for distance permutations, codecs, and dissimilarities."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutation import (
+    count_distinct_permutations,
+    distance_permutation,
+    distance_permutations,
+    distinct_permutations,
+    footrule_matrix,
+    inverse_permutation,
+    is_permutation,
+    kendall_tau,
+    permutation_rank,
+    permutation_unrank,
+    permutations_from_distances,
+    spearman_footrule,
+    spearman_rho,
+)
+from repro.metrics import EuclideanDistance, LevenshteinDistance
+
+permutation_strategy = st.integers(min_value=1, max_value=8).flatmap(
+    lambda k: st.permutations(list(range(k)))
+)
+
+
+class TestDistancePermutation:
+    def test_basic_ordering(self):
+        distances = np.array([[3.0, 1.0, 2.0]])
+        np.testing.assert_array_equal(
+            permutations_from_distances(distances), [[1, 2, 0]]
+        )
+
+    def test_tie_break_lower_index_first(self):
+        """The paper's rule: equal distances order by site index."""
+        distances = np.array([[2.0, 1.0, 2.0, 1.0]])
+        np.testing.assert_array_equal(
+            permutations_from_distances(distances), [[1, 3, 0, 2]]
+        )
+
+    def test_all_ties(self):
+        distances = np.array([[5.0, 5.0, 5.0]])
+        np.testing.assert_array_equal(
+            permutations_from_distances(distances), [[0, 1, 2]]
+        )
+
+    def test_1d_input_promoted(self):
+        out = permutations_from_distances(np.array([2.0, 1.0]))
+        assert out.shape == (1, 2)
+
+    def test_single_point_api(self, rng):
+        sites = rng.random((4, 3))
+        point = rng.random(3)
+        perm = distance_permutation(point, sites, EuclideanDistance())
+        assert is_permutation(perm)
+        distances = [EuclideanDistance().distance(point, s) for s in sites]
+        assert list(perm) == sorted(range(4), key=lambda i: (distances[i], i))
+
+    def test_batch_matches_single(self, rng):
+        sites = rng.random((5, 2))
+        points = rng.random((20, 2))
+        metric = EuclideanDistance()
+        batch = distance_permutations(points, sites, metric)
+        for i, point in enumerate(points):
+            assert tuple(batch[i]) == distance_permutation(point, sites, metric)
+
+    def test_string_metric_ties(self):
+        """Edit distance produces many ties; the stable rule must hold."""
+        sites = ["aa", "bb", "ab"]
+        perm = distance_permutation("ab", sites, LevenshteinDistance())
+        # d = (1, 1, 0): site 2 first, then ties 0, 1 by index.
+        assert perm == (2, 0, 1)
+
+    def test_every_row_is_permutation(self, rng):
+        sites = rng.random((6, 3))
+        points = rng.random((50, 3))
+        perms = distance_permutations(points, sites, EuclideanDistance())
+        for row in perms:
+            assert is_permutation(list(row))
+
+
+class TestCounting:
+    def test_count_distinct(self):
+        perms = np.array([[0, 1], [1, 0], [0, 1]])
+        assert count_distinct_permutations(perms) == 2
+
+    def test_distinct_set(self):
+        perms = np.array([[0, 1], [1, 0], [0, 1]])
+        assert distinct_permutations(perms) == {(0, 1), (1, 0)}
+
+    def test_empty(self):
+        assert count_distinct_permutations(np.empty((0, 3), dtype=int)) == 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            count_distinct_permutations(np.array([0, 1, 2]))
+
+    def test_count_never_exceeds_factorial(self, rng, lp_metric):
+        k = 4
+        sites = rng.random((k, 2))
+        points = rng.random((500, 2))
+        perms = distance_permutations(points, sites, lp_metric)
+        assert count_distinct_permutations(perms) <= math.factorial(k)
+
+
+class TestCodecs:
+    def test_rank_of_identity_is_zero(self):
+        assert permutation_rank((0, 1, 2, 3)) == 0
+
+    def test_rank_of_reverse_is_max(self):
+        assert permutation_rank((3, 2, 1, 0)) == math.factorial(4) - 1
+
+    def test_unrank_identity(self):
+        assert permutation_unrank(0, 4) == (0, 1, 2, 3)
+
+    def test_rank_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_rank((0, 0, 1))
+
+    def test_unrank_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            permutation_unrank(24, 4)
+
+    def test_all_k4_roundtrip(self):
+        seen = set()
+        for rank in range(24):
+            perm = permutation_unrank(rank, 4)
+            assert permutation_rank(perm) == rank
+            seen.add(perm)
+        assert len(seen) == 24
+
+    @given(permutation_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, perm):
+        k = len(perm)
+        rank = permutation_rank(perm)
+        assert 0 <= rank < math.factorial(k)
+        assert permutation_unrank(rank, k) == tuple(perm)
+
+    def test_lexicographic_order(self):
+        ranks = [permutation_rank(p) for p in itertools.permutations(range(4))]
+        assert ranks == sorted(ranks)
+
+
+class TestInverse:
+    @given(permutation_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_property(self, perm):
+        inv = inverse_permutation(perm)
+        for rank, site in enumerate(perm):
+            assert inv[site] == rank
+
+    def test_involution(self):
+        perm = (2, 0, 3, 1)
+        assert inverse_permutation(inverse_permutation(perm)) == perm
+
+
+class TestDissimilarities:
+    def test_footrule_zero_iff_equal(self):
+        assert spearman_footrule((0, 1, 2), (0, 1, 2)) == 0
+        assert spearman_footrule((0, 1, 2), (0, 2, 1)) == 2
+
+    def test_footrule_maximum_for_reverse(self):
+        k = 6
+        forward = tuple(range(k))
+        backward = tuple(reversed(forward))
+        assert spearman_footrule(forward, backward) == k * k // 2
+
+    @given(permutation_strategy, st.randoms())
+    @settings(max_examples=75, deadline=None)
+    def test_footrule_symmetry(self, perm, rand):
+        other = list(perm)
+        rand.shuffle(other)
+        assert spearman_footrule(perm, other) == spearman_footrule(other, perm)
+
+    def test_footrule_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_footrule((0, 1), (0, 1, 2))
+
+    def test_rho_reverse(self):
+        assert spearman_rho((0, 1), (1, 0)) == pytest.approx(math.sqrt(2))
+
+    def test_kendall_tau_counts_discordant_pairs(self):
+        assert kendall_tau((0, 1, 2), (0, 1, 2)) == 0
+        assert kendall_tau((0, 1, 2), (2, 1, 0)) == 3
+        assert kendall_tau((0, 1, 2), (0, 2, 1)) == 1
+
+    @given(permutation_strategy, st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_diaconis_graham_inequality(self, perm, rand):
+        """Kendall tau and footrule satisfy K <= F <= 2K."""
+        other = list(perm)
+        rand.shuffle(other)
+        tau = kendall_tau(perm, other)
+        footrule = spearman_footrule(perm, other)
+        assert tau <= footrule <= 2 * tau
+
+    def test_footrule_matrix_matches_scalar(self, rng):
+        perms = np.array([np.random.default_rng(i).permutation(5) for i in range(10)])
+        query = tuple(np.random.default_rng(99).permutation(5))
+        vectorized = footrule_matrix(perms, query)
+        for i in range(10):
+            assert vectorized[i] == spearman_footrule(tuple(perms[i]), query)

@@ -1,0 +1,49 @@
+"""Tests for the census-scaling experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.counting import euclidean_permutation_count
+from repro.experiments.scaling import census_scaling
+
+
+class TestCensusScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return census_scaling(d=2, k=5, sizes=(100, 1000, 20_000), seed=1)
+
+    def test_monotone_census(self, result):
+        sizes = sorted(result.observed)
+        counts = [result.observed[s] for s in sizes]
+        assert counts == sorted(counts)
+
+    def test_bounded_by_theorem7(self, result):
+        assert result.theoretical_max == euclidean_permutation_count(2, 5)
+        assert max(result.observed.values()) <= result.theoretical_max
+
+    def test_chao1_at_least_observed(self, result):
+        for size, count in result.observed.items():
+            assert result.chao1[size] >= count
+
+    def test_final_fraction(self, result):
+        assert 0.0 < result.final_fraction <= 1.0
+
+    def test_explicit_sites_override(self):
+        sites = np.random.default_rng(3).random((4, 3))
+        result = census_scaling(sizes=(200, 2000), seed=2, sites=sites)
+        assert result.k == 4
+        assert result.d == 3
+        assert result.theoretical_max == euclidean_permutation_count(3, 4)
+
+    def test_nested_samples_deterministic(self):
+        a = census_scaling(d=2, k=4, sizes=(100, 1000), seed=9)
+        b = census_scaling(d=2, k=4, sizes=(100, 1000), seed=9)
+        assert a.observed == b.observed
+
+    def test_l1_variant(self):
+        result = census_scaling(d=2, k=4, p=1.0, sizes=(5000,), seed=4)
+        # L1 counts can exceed N_{d,2} in principle (the counterexample),
+        # but never k!.
+        assert result.observed[5000] <= 24

@@ -1,0 +1,91 @@
+"""Tests for DistPermIndex serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_database
+from repro.index import DistPermIndex
+from repro.index.serialize import load_distperm, save_distperm
+from repro.metrics import EuclideanDistance
+
+
+@pytest.fixture
+def built(rng):
+    points = rng.random((400, 3))
+    index = DistPermIndex(
+        points, EuclideanDistance(), n_sites=7, rng=np.random.default_rng(1)
+    )
+    return points, index
+
+
+class TestRoundTrip:
+    def test_payload_roundtrip(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        assert loaded.site_indices == index.site_indices
+        np.testing.assert_array_equal(loaded.permutations, index.permutations)
+        assert loaded.unique_permutations() == index.unique_permutations()
+
+    def test_loaded_index_answers_queries(self, tmp_path, built, rng):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        query = rng.random(3)
+        original = [(n.index, round(n.distance, 9))
+                    for n in index.knn_query(query, 5)]
+        reloaded = [(n.index, round(n.distance, 9))
+                    for n in loaded.knn_query(query, 5)]
+        assert original == reloaded
+
+    def test_loaded_candidate_order_matches(self, tmp_path, built, rng):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        query = rng.random(3)
+        np.testing.assert_array_equal(
+            index.candidate_order(query), loaded.candidate_order(query)
+        )
+
+    def test_string_database(self, tmp_path):
+        database = load_database("English", n=300)
+        index = DistPermIndex(
+            database.points, database.metric, n_sites=5,
+            rng=np.random.default_rng(2),
+        )
+        path = tmp_path / "dict.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, database.points, database.metric)
+        assert loaded.unique_permutations() == index.unique_permutations()
+
+
+class TestValidation:
+    def test_wrong_database_size_rejected(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        with pytest.raises(ValueError):
+            load_distperm(path, points[:100], EuclideanDistance())
+
+    def test_mismatched_database_rejected(self, tmp_path, built, rng):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        other = rng.random((400, 3))
+        with pytest.raises(ValueError):
+            load_distperm(path, other, EuclideanDistance())
+
+    def test_build_cost_not_paid_on_load(self, tmp_path, built):
+        """Loading must not recompute the n x k distance matrix."""
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        # Only the single probe permutation was computed (k distances),
+        # and the counter was reset afterwards.
+        assert loaded.metric.count == 0

@@ -1,0 +1,91 @@
+"""Tests for storage accounting (Corollary 8's practical payoff)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting import euclidean_permutation_count
+from repro.core.storage import (
+    StorageReport,
+    bits_euclidean_element,
+    bits_for_count,
+    bits_full_permutation,
+    bits_laesa_element,
+    storage_report,
+)
+
+
+class TestBitFormulas:
+    def test_bits_for_count(self):
+        assert bits_for_count(1) == 0
+        assert bits_for_count(2) == 1
+        assert bits_for_count(3) == 2
+        assert bits_for_count(1024) == 10
+        assert bits_for_count(1025) == 11
+
+    def test_bits_for_count_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bits_for_count(0)
+
+    def test_full_permutation_bits(self):
+        assert bits_full_permutation(1) == 0
+        assert bits_full_permutation(3) == 3  # ceil(log2 6)
+        assert bits_full_permutation(12) == math.ceil(math.log2(math.factorial(12)))
+
+    def test_laesa_bits(self):
+        assert bits_laesa_element(8, 1024) == 8 * 10
+
+    def test_laesa_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            bits_laesa_element(0, 100)
+        with pytest.raises(ValueError):
+            bits_laesa_element(4, 1)
+
+    def test_euclidean_element_bits(self):
+        assert bits_euclidean_element(2, 4) == bits_for_count(18)
+
+    @given(st.integers(1, 10), st.integers(2, 14))
+    @settings(max_examples=100, deadline=None)
+    def test_table_encoding_never_worse_than_naive(self, d, k):
+        """ceil(log2 N_{d,2}(k)) <= ceil(log2 k!) always."""
+        assert bits_euclidean_element(d, k) <= bits_full_permutation(k)
+
+    def test_paper_headline_numbers(self):
+        """In 4-d Euclidean space with k = 12 the permutation fits in
+        ceil(log2 392085) = 19 bits, versus 29 for a full permutation and
+        k log n for LAESA."""
+        assert bits_euclidean_element(4, 12) == 19
+        assert bits_full_permutation(12) == 29
+        assert bits_laesa_element(12, 10**6) == 12 * 20
+
+
+class TestStorageReport:
+    def test_totals(self):
+        report = storage_report(n=1000, k=8, realized_permutations=100)
+        assert report.total_laesa == 1000 * 8 * 10
+        assert report.total_naive == 1000 * bits_full_permutation(8)
+        assert report.total_table == 1000 * 7 + 100 * bits_full_permutation(8)
+
+    def test_table_wins_for_large_n(self):
+        """Once n dwarfs the number of realized permutations, the table
+        encoding beats both baselines (the paper's regime)."""
+        report = storage_report(n=10**6, k=12, realized_permutations=4408)
+        assert report.total_table < report.total_naive < report.total_laesa
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            storage_report(n=10, k=3, realized_permutations=0)
+
+    def test_row_format(self):
+        report = storage_report(n=10, k=3, realized_permutations=4)
+        row = report.as_row()
+        assert "n=" in row and "perms=" in row
+
+    def test_report_is_frozen(self):
+        report = storage_report(n=10, k=3, realized_permutations=4)
+        with pytest.raises(AttributeError):
+            report.n = 20
