@@ -6,6 +6,11 @@ index's approximate search at a fraction of both storages, and the classic
 trees.  Also regenerates the permutation index's recall-versus-budget
 trade-off, the regime in which Chávez et al. report it "comparable to
 LAESA, while consuming much less storage space".
+
+All workloads are driven through the batched query engine
+(:func:`repro.experiments.harness.run_query_workload`), so each table now
+reports queries per second next to the literature's distance count — the
+two cost measures the batch refactor decouples.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from conftest import write_result
 
 from repro.datasets.dictionaries import synthetic_dictionary
 from repro.datasets.vectors import uniform_vectors
+from repro.experiments.harness import run_query_workload
 from repro.index import (
     AESA,
     BKTree,
@@ -38,6 +44,17 @@ def _database():
     return uniform_vectors(N_POINTS, DIM, rng), rng.random((N_QUERIES, DIM))
 
 
+def _cost_lines(header, reports):
+    lines = [header]
+    by_cost = sorted(reports.items(), key=lambda item: item[1].distances_per_query)
+    for name, report in by_cost:
+        lines.append(
+            f"  {name:>9}: {report.distances_per_query:10.1f} dist/query"
+            f"  {report.queries_per_second:10.1f} q/s"
+        )
+    return lines
+
+
 def test_knn_cost_comparison(benchmark, results_dir):
     def run():
         points, queries = _database()
@@ -53,23 +70,22 @@ def test_knn_cost_comparison(benchmark, results_dir):
             "loc-16": ListOfClusters(points, metric, bucket_size=16,
                                      rng=np.random.default_rng(6)),
         }
-        costs = {}
-        for name, index in indexes.items():
-            index.reset_stats()
-            for query in queries:
-                index.knn_query(query, 5)
-            costs[name] = index.stats.distances_per_query
-        return costs
+        return {
+            name: run_query_workload(index, queries, kind="knn", k=5)
+            for name, index in indexes.items()
+        }
 
-    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    costs = {name: r.distances_per_query for name, r in reports.items()}
     # The literature's pecking order on low-dimensional vectors.
     assert costs["aesa"] < costs["laesa-16"] < costs["linear"]
     assert costs["iaesa"] < costs["laesa-16"]
     assert costs["vptree"] < costs["linear"]
-    lines = [f"5-NN cost, n={N_POINTS}, d={DIM}, {N_QUERIES} queries "
-             "(distance evaluations per query):"]
-    for name, cost in sorted(costs.items(), key=lambda item: item[1]):
-        lines.append(f"  {name:>9}: {cost:10.1f}")
+    lines = _cost_lines(
+        f"5-NN cost, n={N_POINTS}, d={DIM}, {N_QUERIES} queries "
+        "(batched engine):",
+        reports,
+    )
     write_result(results_dir, "search_knn_costs", "\n".join(lines))
 
 
@@ -82,19 +98,17 @@ def test_distperm_recall_budget_curve(benchmark, results_dir):
         oracle = LinearScan(points, metric)
         index = DistPermIndex(points, metric, n_sites=16,
                               rng=np.random.default_rng(4))
-        truth = {
-            tuple(query): {n.index for n in oracle.knn_query(query, 10)}
-            for query in queries
-        }
+        truth = [
+            {n.index for n in answer}
+            for answer in oracle.knn_batch(queries, 10)
+        ]
         curve = {}
         for budget in (25, 50, 100, 200, 400, 800):
-            hits = 0
-            for query in queries:
-                found = {
-                    n.index
-                    for n in index.knn_approx(query, 10, budget=budget)
-                }
-                hits += len(found & truth[tuple(query)])
+            answers = index.knn_approx_batch(queries, 10, budget=budget)
+            hits = sum(
+                len({n.index for n in answer} & true_ids)
+                for answer, true_ids in zip(answers, truth)
+            )
             curve[budget] = hits / (10 * len(queries))
         return curve
 
@@ -125,19 +139,17 @@ def test_range_query_cost(benchmark, results_dir):
                                    rng=np.random.default_rng(5)),
             "aesa": AESA(points, metric),
         }
-        costs = {}
-        for name, index in indexes.items():
-            index.reset_stats()
-            for query in queries:
-                index.range_query(query, 0.15)
-            costs[name] = index.stats.distances_per_query
-        return costs
+        return {
+            name: run_query_workload(index, queries, kind="range", radius=0.15)
+            for name, index in indexes.items()
+        }
 
-    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    costs = {name: r.distances_per_query for name, r in reports.items()}
     assert costs["aesa"] < costs["laesa-16"] < costs["linear"]
-    lines = ["range query (r = 0.15) cost (distance evaluations per query):"]
-    for name, cost in sorted(costs.items(), key=lambda item: item[1]):
-        lines.append(f"  {name:>9}: {cost:10.1f}")
+    lines = _cost_lines(
+        "range query (r = 0.15) cost (batched engine):", reports
+    )
     write_result(results_dir, "search_range_costs", "\n".join(lines))
 
 
@@ -162,27 +174,27 @@ def test_dictionary_workload_cost(benchmark, results_dir):
             "loc-16": ListOfClusters(words, metric, bucket_size=16,
                                      rng=np.random.default_rng(23)),
         }
-        costs = {}
-        answers = {}
-        for name, index in indexes.items():
-            index.reset_stats()
-            results = []
-            for query in queries:
-                results.append(
-                    tuple(sorted((n.index, n.distance)
-                                 for n in index.range_query(query, 2)))
-                )
-            costs[name] = index.stats.distances_per_query
-            answers[name] = tuple(results)
-        return costs, answers
+        reports = {
+            name: run_query_workload(index, queries, kind="range", radius=2)
+            for name, index in indexes.items()
+        }
+        answers = {
+            name: tuple(
+                tuple(sorted((n.index, n.distance) for n in result))
+                for result in report.results
+            )
+            for name, report in reports.items()
+        }
+        return reports, answers
 
-    costs, answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    reports, answers = benchmark.pedantic(run, rounds=1, iterations=1)
     # All indexes exact: identical answer sets.
     assert len(set(answers.values())) == 1
+    costs = {name: r.distances_per_query for name, r in reports.items()}
     # The discrete-metric specialist beats the linear scan.
     assert costs["bktree"] < costs["linear"]
-    lines = ["dictionary range queries (radius 2, edit distance), "
-             "evaluations per query:"]
-    for name, cost in sorted(costs.items(), key=lambda item: item[1]):
-        lines.append(f"  {name:>9}: {cost:10.1f}")
+    lines = _cost_lines(
+        "dictionary range queries (radius 2, edit distance), batched engine:",
+        reports,
+    )
     write_result(results_dir, "search_dictionary_costs", "\n".join(lines))

@@ -22,7 +22,6 @@ from repro.core.permutation import (
     count_distinct_permutations,
     distance_permutations,
 )
-from repro.datasets.vectors import uniform_vectors
 from repro.metrics import EuclideanDistance
 
 D, K, N = 3, 6, 500_000

@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 
-from repro import max_permutations, permutation_dimension
+from repro import permutation_dimension
 from repro.datasets import synthetic_dictionary
 from repro.index import BKTree, DistPermIndex, LinearScan, PivotIndex
 from repro.metrics import LevenshteinDistance

@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.permutation import permutations_from_distances
-from repro.core.voronoi import realized_permutations_euclidean_exact
 from repro.experiments.figures import figure_cell_counts, paperlike_sites
 from repro.metrics import CityblockDistance, EuclideanDistance
 

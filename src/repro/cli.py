@@ -14,8 +14,16 @@ Examples::
     python -m repro table3 --dims 1 2 3 --n 10000 --runs 3
     python -m repro census --input words.txt --kind strings \\
         --metric levenshtein --sites 8 --dump perms.txt
+    python -m repro search --input vectors.txt --kind vectors --metric l2 \\
+        --index distperm --mode knn-approx --k 10 --budget 200
     python -m repro counterexample --points 1000000
     python -m repro figures
+
+``repro search`` drives the *batched* query engine: the whole query set
+goes through ``knn_batch`` / ``range_batch`` / ``knn_approx_batch`` in
+one call and the report shows queries per second alongside the
+literature's distance-evaluations-per-query cost (``--no-batch`` loops
+the single-query API instead, for comparison).
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -39,6 +47,9 @@ _METRICS = {
     "prefix": lambda: __import__("repro.metrics", fromlist=["x"]).PrefixDistance(),
     "angular": lambda: __import__("repro.metrics", fromlist=["x"]).AngularDistance(),
 }
+
+#: Indexes the ``search`` subcommand can build (see :mod:`repro.index`).
+_INDEXES = ("aesa", "distperm", "iaesa", "laesa", "linear", "vptree")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +93,41 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--seed", type=int, default=0)
     census.add_argument("--dump", default=None,
                         help="write per-element permutations (ASCII) here")
+
+    search = commands.add_parser(
+        "search",
+        help="run a batched query workload over a database file",
+    )
+    search.add_argument("--input", required=True, help="database file")
+    search.add_argument("--kind", choices=("vectors", "strings"),
+                        required=True)
+    search.add_argument("--metric", choices=sorted(_METRICS), required=True)
+    search.add_argument("--index", choices=sorted(_INDEXES), default="linear")
+    search.add_argument("--mode", choices=("knn", "range", "knn-approx"),
+                        default="knn")
+    search.add_argument("--k", type=int, default=10,
+                        help="neighbors per query (knn modes, default 10)")
+    search.add_argument("--radius", type=float, default=1.0,
+                        help="search radius (range mode, default 1.0)")
+    search.add_argument("--budget", type=int, default=None,
+                        help="distance-evaluation budget per query "
+                             "(knn-approx mode)")
+    search.add_argument("--sites", type=int, default=8,
+                        help="permutation sites for --index distperm")
+    search.add_argument("--pivots", type=int, default=8,
+                        help="pivots for --index laesa")
+    search.add_argument("--queries", default=None,
+                        help="query file (same format as --input); "
+                             "defaults to sampling the database")
+    search.add_argument("--n-queries", type=int, default=100,
+                        help="queries sampled from the database when no "
+                             "--queries file is given (default 100)")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--no-batch", action="store_true",
+                        help="loop the single-query API instead of the "
+                             "batch engine (baseline comparison)")
+    search.add_argument("--show", type=int, default=0,
+                        help="print the results of the first N queries")
 
     counter = commands.add_parser(
         "counterexample", help="re-run the Eq. 12 census (Section 5)"
@@ -169,6 +215,122 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_search_index(name: str, points, metric, args: argparse.Namespace):
+    from repro.index import (
+        AESA,
+        DistPermIndex,
+        IAESA,
+        LinearScan,
+        PivotIndex,
+        VPTree,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    if name == "linear":
+        return LinearScan(points, metric)
+    if name == "aesa":
+        return AESA(points, metric)
+    if name == "iaesa":
+        return IAESA(points, metric)
+    if name == "vptree":
+        return VPTree(points, metric, rng=rng)
+    if name == "laesa":
+        return PivotIndex(
+            points, metric, n_pivots=min(args.pivots, len(points)), rng=rng
+        )
+    if name == "distperm":
+        return DistPermIndex(
+            points, metric, n_sites=min(args.sites, len(points)), rng=rng
+        )
+    raise ValueError(f"no factory for index {name!r} (update _INDEXES?)")
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.datasets.io import load_strings, load_vectors
+    from repro.experiments.harness import run_query_workload
+
+    load = load_vectors if args.kind == "vectors" else load_strings
+    try:
+        points = load(args.input)
+    except OSError as error:
+        print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
+        return 1
+    if len(points) == 0:
+        print("error: empty database", file=sys.stderr)
+        return 1
+    if args.queries is not None:
+        try:
+            queries = load(args.queries)
+        except OSError as error:
+            print(f"error: cannot read {args.queries}: {error}",
+                  file=sys.stderr)
+            return 1
+        if len(queries) == 0:
+            print("error: empty query file", file=sys.stderr)
+            return 1
+    else:
+        rng = np.random.default_rng(args.seed)
+        picks = rng.choice(
+            len(points),
+            size=min(args.n_queries, len(points)),
+            replace=False,
+        )
+        if args.kind == "vectors":
+            queries = points[picks]
+        else:
+            queries = [points[int(i)] for i in picks]
+    if args.mode != "range" and args.k < 1:
+        print("error: k must be >= 1", file=sys.stderr)
+        return 1
+    if args.mode == "range" and args.radius < 0:
+        print("error: radius must be nonnegative", file=sys.stderr)
+        return 1
+    if args.index == "distperm" and args.sites < 1:
+        print("error: --sites must be >= 1", file=sys.stderr)
+        return 1
+    if args.index == "laesa" and args.pivots < 1:
+        print("error: --pivots must be >= 1", file=sys.stderr)
+        return 1
+    metric = _METRICS[args.metric]()
+    index = _build_search_index(args.index, points, metric, args)
+    if args.mode == "knn-approx" and args.budget is not None:
+        from repro.index.base import Index
+
+        if type(index)._knn_approx_impl is Index._knn_approx_impl:
+            print(f"note: index {args.index!r} has no budgeted mode; "
+                  "--budget is ignored and the search is exact",
+                  file=sys.stderr)
+    report = run_query_workload(
+        index,
+        queries,
+        kind=args.mode,
+        k=args.k,
+        radius=args.radius,
+        budget=args.budget,
+        batched=not args.no_batch,
+    )
+    detail = {
+        "knn": f"k={min(args.k, len(points))}",
+        "range": f"radius={args.radius}",
+        "knn-approx": f"k={min(args.k, len(points))} budget={args.budget}",
+    }[args.mode]
+    surface = "looped single-query" if args.no_batch else "batched"
+    print(f"database: {args.input} ({len(points)} elements, "
+          f"metric {metric.name})")
+    print(f"index: {args.index} "
+          f"(build distances: {index.stats.build_distances})")
+    print(f"workload: {args.mode} {detail}, "
+          f"{report.n_queries} queries ({surface})")
+    print(f"queries/sec: {report.queries_per_second:.1f}")
+    print(f"distances/query: {report.distances_per_query:.1f}")
+    for i in range(min(args.show, report.n_queries)):
+        answers = ", ".join(
+            f"{n.index}:{n.distance:.6g}" for n in report.results[i]
+        )
+        print(f"query {i}: [{answers}]")
+    return 0
+
+
 def _cmd_counterexample(args: argparse.Namespace) -> int:
     from repro.experiments.counterexample import counterexample_census
 
@@ -216,6 +378,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "census": _cmd_census,
+    "search": _cmd_search,
     "counterexample": _cmd_counterexample,
     "figures": _cmd_figures,
     "bound": _cmd_bound,

@@ -14,9 +14,8 @@
 
 from __future__ import annotations
 
-import itertools
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from functools import lru_cache
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, Union
 
 __all__ = [
     "cake_number",

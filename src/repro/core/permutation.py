@@ -15,7 +15,7 @@ are pervasive.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable, Sequence, Set, Tuple
+from typing import Any, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -28,6 +28,9 @@ __all__ = [
     "count_distinct_permutations",
     "distinct_permutations",
     "inverse_permutation",
+    "permutation_positions",
+    "footrule_matrix",
+    "footrule_matrix_batch",
     "permutation_rank",
     "permutation_unrank",
     "spearman_footrule",
@@ -174,12 +177,70 @@ def kendall_tau(perm_a: Sequence[int], perm_b: Sequence[int]) -> int:
     return discordant
 
 
-def footrule_matrix(perms: np.ndarray, query_perm: Sequence[int]) -> np.ndarray:
-    """Vectorized footrule of every row of ``perms`` against one permutation."""
+def permutation_positions(perms: np.ndarray) -> np.ndarray:
+    """Row-wise inverse of a permutation matrix: ``pos[i, site] = rank``.
+
+    This is the representation in which Spearman footrule is a plain
+    elementwise computation; indexes cache it so batched footrule never
+    re-inverts the stored permutations.
+    """
     perms = np.asarray(perms)
+    if perms.ndim == 1:
+        perms = perms.reshape(1, -1)
     n, k = perms.shape
     positions = np.empty_like(perms)
     rows = np.arange(n)[:, None]
     positions[rows, perms] = np.arange(k)[None, :]
+    return positions
+
+
+def footrule_matrix(perms: np.ndarray, query_perm: Sequence[int]) -> np.ndarray:
+    """Vectorized footrule of every row of ``perms`` against one permutation."""
+    positions = permutation_positions(perms)
     query_positions = _positions(query_perm)[None, :]
     return np.abs(positions - query_positions).sum(axis=1)
+
+
+#: Cap on the ``queries x points x sites`` intermediate of one batched
+#: footrule chunk (~32 MB of int64 at the default).
+_FOOTRULE_CHUNK_ELEMENTS = 4_194_304
+
+
+def footrule_matrix_batch(
+    perms: np.ndarray,
+    query_perms: np.ndarray,
+    *,
+    positions: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Footrule of every stored permutation against every query permutation.
+
+    Returns the ``(len(query_perms), len(perms))`` matrix whose entry
+    ``(q, i)`` is ``spearman_footrule(perms[i], query_perms[q])``.  The
+    computation is chunked over queries so the three-dimensional
+    intermediate stays below ``_FOOTRULE_CHUNK_ELEMENTS`` entries; pass a
+    precomputed ``positions = permutation_positions(perms)`` to skip
+    re-inverting the stored permutations on every call.
+    """
+    if positions is None:
+        positions = permutation_positions(perms)
+    query_positions = permutation_positions(query_perms)
+    n, k = positions.shape
+    n_queries = query_positions.shape[0]
+    # Ranks are < k, so a narrow integer dtype quarters the memory traffic
+    # of the dominating broadcast; row sums stay < k^2, so int32 is a safe
+    # accumulator exactly when the int16 ranks are.
+    if k <= np.iinfo(np.int16).max:
+        compact, accumulator = np.int16, np.int32
+    else:
+        compact, accumulator = np.int64, np.int64
+    positions = positions.astype(compact, copy=False)
+    query_positions = query_positions.astype(compact, copy=False)
+    out = np.empty((n_queries, n), dtype=np.int64)
+    rows = max(1, _FOOTRULE_CHUNK_ELEMENTS // max(1, n * k))
+    for start in range(0, n_queries, rows):
+        stop = min(start + rows, n_queries)
+        block = np.abs(
+            positions[None, :, :] - query_positions[start:stop, None, :]
+        )
+        out[start:stop] = block.sum(axis=2, dtype=accumulator)
+    return out

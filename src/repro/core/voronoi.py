@@ -17,15 +17,13 @@ engines are provided:
 from __future__ import annotations
 
 import itertools
-import math
-from typing import FrozenSet, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Set, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.core.permutation import permutations_from_distances
 from repro.metrics.base import Metric
-from repro.metrics.minkowski import MinkowskiMetric
 
 __all__ = [
     "bisector_sign",

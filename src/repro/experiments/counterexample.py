@@ -11,7 +11,6 @@ such configurations for the other reported cases (3-d L1 k=6, 3-d L∞ k=5,
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 

@@ -17,9 +17,8 @@ These functions compute those quantities so the benches can assert them.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -1,9 +1,18 @@
-"""Shared experiment machinery: site draws, trials, table formatting."""
+"""Shared experiment machinery: site draws, trials, query workloads, tables.
+
+Besides the permutation-census helpers, this module hosts the search
+workload runner used by the benches and the ``repro search`` CLI: a query
+set is pushed through an index's *batched* API (or, for baseline
+comparisons, the looped single-query API) and both cost measures are
+reported — distance evaluations per query, the literature's metric, and
+queries per second, the production measure the batch engine optimizes.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -11,12 +20,15 @@ from repro.core.permutation import (
     count_distinct_permutations,
     permutations_from_distances,
 )
+from repro.index.base import Index, Neighbor
 from repro.metrics.base import Metric
 
 __all__ = [
     "unique_permutation_count",
     "permutation_count_trials",
     "TrialResult",
+    "QueryWorkloadReport",
+    "run_query_workload",
     "format_table",
 ]
 
@@ -71,6 +83,85 @@ def permutation_count_trials(
         sites = [points[int(i)] for i in site_indices]
         counts.append(unique_permutation_count(points, sites, metric))
     return TrialResult(tuple(counts))
+
+
+@dataclass(frozen=True)
+class QueryWorkloadReport:
+    """Outcome of one query workload over an index.
+
+    ``results[i]`` is the answer list for ``queries[i]``; the two cost
+    measures are distance evaluations per query (hardware-independent)
+    and queries per second (wall clock).
+    """
+
+    kind: str
+    n_queries: int
+    elapsed_seconds: float
+    distance_evaluations: int
+    results: Tuple[Tuple[Neighbor, ...], ...]
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.n_queries / self.elapsed_seconds
+
+    @property
+    def distances_per_query(self) -> float:
+        return (
+            self.distance_evaluations / self.n_queries
+            if self.n_queries
+            else 0.0
+        )
+
+
+def run_query_workload(
+    index: Index,
+    queries: Sequence[Any],
+    *,
+    kind: str = "knn",
+    k: int = 10,
+    radius: float = 1.0,
+    budget: Optional[int] = None,
+    batched: bool = True,
+) -> QueryWorkloadReport:
+    """Drive a query set through an index and report both cost measures.
+
+    ``kind`` selects the operation: ``"knn"`` (exact), ``"range"``, or
+    ``"knn-approx"`` (budgeted).  With ``batched=True`` the batch API
+    answers the whole set in one call; with ``batched=False`` the
+    single-query API is looped — the baseline the batch engine is
+    benchmarked against.  The index's query stats are reset first so the
+    report reflects exactly this workload.
+    """
+    if kind not in ("knn", "range", "knn-approx"):
+        raise ValueError(f"unknown workload kind {kind!r}")
+    index.reset_stats()
+    start = time.perf_counter()
+    if batched:
+        if kind == "knn":
+            results = index.knn_batch(queries, k)
+        elif kind == "range":
+            results = index.range_batch(queries, radius)
+        else:
+            results = index.knn_approx_batch(queries, k, budget=budget)
+    else:
+        if kind == "knn":
+            results = [index.knn_query(query, k) for query in queries]
+        elif kind == "range":
+            results = [index.range_query(query, radius) for query in queries]
+        else:
+            results = [
+                index.knn_approx(query, k, budget=budget) for query in queries
+            ]
+    elapsed = time.perf_counter() - start
+    return QueryWorkloadReport(
+        kind=kind,
+        n_queries=len(queries),
+        elapsed_seconds=elapsed,
+        distance_evaluations=index.stats.query_distances,
+        results=tuple(tuple(r) for r in results),
+    )
 
 
 def format_table(

@@ -11,7 +11,7 @@ the realizable count, alongside the Chao1 extrapolation from each stage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

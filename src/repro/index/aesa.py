@@ -7,12 +7,20 @@ always the one with the smallest bound.  Search cost per query is famously
 close to constant — paid for with quadratic storage, which is why the
 paper calls pure AESA impractical and why LAESA and permutation indexes
 exist.
+
+The batched query path exploits the stored distance matrix: each query's
+pivot trajectory is fully determined by its own history, so queries that
+choose the *same* pivot in the same round (every query starts at pivot 0,
+and trajectories fragment only gradually) are evaluated together with one
+:meth:`~repro.metrics.base.Metric.batch_distances` call, and their bound
+updates become one broadcast against the stored matrix row.  Results and
+per-query evaluation counts are identical to the single-query algorithm.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, List
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -70,6 +78,89 @@ class AESA(Index):
                 kth = -heap[0][0]
                 alive &= lower <= kth + _SAFETY * (1.0 + kth)
         return [Neighbor(-nd, -ni) for nd, ni in heap]
+
+    def _group_by_pivot(
+        self, active: List[int], lower: np.ndarray, alive: np.ndarray
+    ) -> Dict[int, List[int]]:
+        """AESA pivot choice per active query, grouped for shared evaluation."""
+        groups: Dict[int, List[int]] = {}
+        for qi in active:
+            candidates = np.flatnonzero(alive[qi])
+            pivot = int(candidates[np.argmin(lower[qi, candidates])])
+            groups.setdefault(pivot, []).append(qi)
+        return groups
+
+    def _evaluate_group(
+        self,
+        queries: Sequence[Any],
+        members: List[int],
+        pivot: int,
+        lower: np.ndarray,
+        alive: np.ndarray,
+    ) -> np.ndarray:
+        """Evaluate one pivot for several queries; update bounds in bulk."""
+        distances = self.metric.batch_distances(
+            [queries[qi] for qi in members], [self.points[pivot]]
+        )[:, 0]
+        alive[members, pivot] = False
+        lower[members] = np.maximum(
+            lower[members],
+            np.abs(distances[:, None] - self.matrix[pivot][None, :]),
+        )
+        return distances
+
+    def _range_batch_impl(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[List[Neighbor]]:
+        n = len(self.points)
+        n_queries = len(queries)
+        lower = np.zeros((n_queries, n))
+        alive = np.ones((n_queries, n), dtype=bool)
+        results: List[List[Neighbor]] = [[] for _ in range(n_queries)]
+        threshold = radius + _SAFETY * (1.0 + radius)
+        active = list(range(n_queries))
+        while active:
+            groups = self._group_by_pivot(active, lower, alive)
+            for pivot, members in groups.items():
+                distances = self._evaluate_group(
+                    queries, members, pivot, lower, alive
+                )
+                for qi, d in zip(members, distances):
+                    if d <= radius:
+                        results[qi].append(Neighbor(float(d), pivot))
+                alive[members] &= lower[members] <= threshold
+            active = [qi for qi in active if alive[qi].any()]
+        return results
+
+    def _knn_batch_impl(
+        self, queries: Sequence[Any], k: int
+    ) -> List[List[Neighbor]]:
+        n = len(self.points)
+        n_queries = len(queries)
+        lower = np.zeros((n_queries, n))
+        alive = np.ones((n_queries, n), dtype=bool)
+        heaps: List[List[tuple]] = [[] for _ in range(n_queries)]
+        active = list(range(n_queries))
+        while active:
+            groups = self._group_by_pivot(active, lower, alive)
+            for pivot, members in groups.items():
+                distances = self._evaluate_group(
+                    queries, members, pivot, lower, alive
+                )
+                for qi, d in zip(members, distances):
+                    heap = heaps[qi]
+                    item = (-float(d), -pivot)
+                    if len(heap) < k:
+                        heapq.heappush(heap, item)
+                    elif item > heap[0]:
+                        heapq.heapreplace(heap, item)
+                    if len(heap) == k:
+                        kth = -heap[0][0]
+                        alive[qi] &= lower[qi] <= kth + _SAFETY * (1.0 + kth)
+            active = [qi for qi in active if alive[qi].any()]
+        return [
+            [Neighbor(-nd, -ni) for nd, ni in heap] for heap in heaps
+        ]
 
     def storage_floats(self) -> int:
         """Stored scalars: the full ``n x n`` matrix (upper triangle counted once)."""

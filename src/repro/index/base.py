@@ -1,10 +1,41 @@
-"""Common index interface: exact range / kNN queries with cost accounting."""
+"""Common index interface: exact range / kNN queries with cost accounting.
+
+Two query surfaces are exposed:
+
+**Single-query** — :meth:`Index.range_query`, :meth:`Index.knn_query`, and
+:meth:`Index.knn_approx` answer one query at a time; subclasses implement
+``_range_impl`` / ``_knn_impl`` (and optionally ``_knn_approx_impl``).
+
+**Batched** — :meth:`Index.range_batch`, :meth:`Index.knn_batch`, and
+:meth:`Index.knn_approx_batch` answer a whole query set in one call.  The
+generic fallbacks simply loop the single-query implementations, so every
+index supports the batch API out of the box; vectorized subclasses
+(:class:`~repro.index.linear.LinearScan`,
+:class:`~repro.index.distperm.DistPermIndex`,
+:class:`~repro.index.aesa.AESA`) override the ``_*_batch_impl`` hooks to
+amortize metric evaluations into a few
+:meth:`~repro.metrics.base.Metric.batch_distances` calls.  Batched calls
+are answer-for-answer identical to the single-query API — same neighbor
+sets, same ``(distance, index)`` tie-breaking — and keep
+:class:`SearchStats` accounting correct with one entry per query, so
+distance-evaluation costs reported by experiments do not depend on which
+surface drove the search.
+
+One caveat bounds that equivalence: vectorized metrics may compute a
+distance through a different floating-point formula than the scalar path
+(the Euclidean dot-product identity), so batched distances can differ in
+the last ulp.  Candidate *sets* and tie-breaking on equal computed
+distances are unaffected, but two distinct points at *exactly* equal true
+distance can resolve to either equidistant neighbor depending on the
+surface.  Discrete metrics (strings, trees, matrices) share one code path
+and are bit-identical.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Any, List, Sequence
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
 
 from repro.metrics.base import CountingMetric, Metric
 
@@ -68,6 +99,40 @@ class Index(ABC):
         results.sort()
         return results[:k]
 
+    def _knn_approx_impl(
+        self, query: Any, k: int, budget: Optional[int]
+    ) -> List[Neighbor]:
+        """Default approximate kNN: exact search, ``budget`` ignored.
+
+        Budget-aware indexes (the permutation index) override this with a
+        real recall-versus-evaluations trade-off.
+        """
+        return self._knn_impl(query, k)
+
+    # ------------------------------------------------------------------
+    # Batched implementation hooks.  The fallbacks loop the single-query
+    # implementations; vectorized subclasses override them.
+    # ------------------------------------------------------------------
+
+    def _range_batch_impl(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[List[Neighbor]]:
+        return [self._range_impl(query, radius) for query in queries]
+
+    def _knn_batch_impl(
+        self, queries: Sequence[Any], k: int
+    ) -> List[List[Neighbor]]:
+        return [self._knn_impl(query, k) for query in queries]
+
+    def _knn_approx_batch_impl(
+        self, queries: Sequence[Any], k: int, budget: Optional[int]
+    ) -> List[List[Neighbor]]:
+        return [self._knn_approx_impl(query, k, budget) for query in queries]
+
+    # ------------------------------------------------------------------
+    # Public single-query API.
+    # ------------------------------------------------------------------
+
     def range_query(self, query: Any, radius: float) -> List[Neighbor]:
         """Return every database element within ``radius`` of ``query``.
 
@@ -91,6 +156,78 @@ class Index(ABC):
         results = sorted(self._knn_impl(query, k))[:k]
         self.stats.query_distances += self.metric.count - before
         self.stats.queries += 1
+        return results
+
+    def knn_approx(
+        self, query: Any, k: int, budget: Optional[int] = None
+    ) -> List[Neighbor]:
+        """Return (approximately) the ``k`` nearest elements under a budget.
+
+        ``budget`` caps the number of true distance evaluations spent on
+        candidates.  The base implementation is exact and ignores the
+        budget; indexes with a genuine approximate mode (the permutation
+        index) override :meth:`_knn_approx_impl`.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.points))
+        before = self.metric.count
+        results = sorted(self._knn_approx_impl(query, k, budget))[:k]
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Public batched API.
+    # ------------------------------------------------------------------
+
+    def range_batch(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[List[Neighbor]]:
+        """Batched :meth:`range_query`: one sorted result list per query.
+
+        Equivalent to ``[self.range_query(q, radius) for q in queries]``
+        — including :class:`SearchStats` accounting, which records one
+        query per element of ``queries`` — but vectorized subclasses
+        answer the whole batch with a few ``batch_distances`` calls.
+        """
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        before = self.metric.count
+        results = [sorted(r) for r in self._range_batch_impl(queries, radius)]
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += len(results)
+        return results
+
+    def knn_batch(
+        self, queries: Sequence[Any], k: int
+    ) -> List[List[Neighbor]]:
+        """Batched :meth:`knn_query`: one sorted ``k``-list per query."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.points))
+        before = self.metric.count
+        results = [
+            sorted(r)[:k] for r in self._knn_batch_impl(queries, k)
+        ]
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += len(results)
+        return results
+
+    def knn_approx_batch(
+        self, queries: Sequence[Any], k: int, budget: Optional[int] = None
+    ) -> List[List[Neighbor]]:
+        """Batched :meth:`knn_approx` under a per-query evaluation budget."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.points))
+        before = self.metric.count
+        results = [
+            sorted(r)[:k]
+            for r in self._knn_approx_batch_impl(queries, k, budget)
+        ]
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += len(results)
         return results
 
     def reset_stats(self) -> None:

@@ -1,0 +1,148 @@
+"""Vectorized batch-query helpers shared by index implementations.
+
+The batched query path works on full query-to-database distance matrices:
+one :meth:`~repro.metrics.base.Metric.batch_distances` call per chunk of
+queries instead of one Python-level metric call per (query, point) pair.
+Top-k extraction uses ``np.argpartition`` with an explicit boundary-tie
+repair so that results are *identical* to the single-query API, which
+keeps the ``k`` smallest ``(distance, index)`` pairs lexicographically.
+
+Chunking bounds peak memory: a chunk never materializes more than about
+``_TARGET_CHUNK_ELEMENTS`` matrix entries, so a million-point database
+queried with a hundred thousand queries still runs in bounded space.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.base import Neighbor
+from repro.metrics.base import Metric
+
+__all__ = [
+    "query_chunks",
+    "scan_knn",
+    "smallest_k_indices",
+    "top_k_rows",
+    "range_rows",
+    "exhaustive_knn_batch",
+    "exhaustive_range_batch",
+    "take_points",
+]
+
+
+def scan_knn(
+    metric: Metric,
+    query: Any,
+    points: Sequence[Any],
+    k: int,
+    indices: Optional[Sequence[int]] = None,
+) -> List[Neighbor]:
+    """Exact kNN of one query by scanning candidates with a bounded heap.
+
+    The ``(-distance, -index)`` max-heap keeps the ``k`` lexicographically
+    smallest ``(distance, index)`` pairs regardless of visit order, so
+    ties break exactly as in the ``sorted(Neighbor)`` order of the public
+    API.  ``indices`` restricts (and orders) the candidates scanned; the
+    default scans the whole database.  This is the single home of the
+    scalar scan idiom shared by the linear and permutation indexes.
+    """
+    heap: List[tuple] = []
+    if indices is None:
+        candidates = enumerate(points)
+    else:
+        candidates = ((int(i), points[int(i)]) for i in indices)
+    for i, point in candidates:
+        d = metric.distance(query, point)
+        item = (-d, -i)
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif item > heap[0]:
+            heapq.heapreplace(heap, item)
+    return [Neighbor(-nd, -ni) for nd, ni in heap]
+
+#: Upper bound on the number of distance-matrix entries materialized per
+#: chunk of queries (~32 MB of float64 at the default).
+_TARGET_CHUNK_ELEMENTS = 4_194_304
+
+
+def query_chunks(
+    n_queries: int, n_points: int
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` query ranges bounding matrix-chunk memory."""
+    rows = max(1, _TARGET_CHUNK_ELEMENTS // max(1, n_points))
+    for start in range(0, n_queries, rows):
+        yield start, min(start + rows, n_queries)
+
+
+def take_points(points: Sequence[Any], indices: np.ndarray) -> Sequence[Any]:
+    """Gather ``points[indices]``, fancy-indexing arrays, looping otherwise."""
+    if isinstance(points, np.ndarray):
+        return points[indices]
+    return [points[int(i)] for i in indices]
+
+
+def smallest_k_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` lexicographically smallest ``(value, index)``.
+
+    ``np.argpartition`` alone breaks ties at the k-th value arbitrarily;
+    the repair step collects *every* entry at or below the partition
+    boundary and resolves ties by lower index, matching the
+    ``sorted(Neighbor)`` order of the single-query API exactly.  The
+    result is sorted by ``(value, index)``.
+    """
+    n = values.shape[0]
+    if k >= n:
+        candidates = np.arange(n)
+    else:
+        part = np.argpartition(values, k - 1)[:k]
+        boundary = values[part].max()
+        candidates = np.flatnonzero(values <= boundary)
+    order = np.lexsort((candidates, values[candidates]))[:k]
+    return candidates[order]
+
+
+def top_k_rows(distances: np.ndarray, k: int) -> List[List[Neighbor]]:
+    """Per-row exact top-k of a distance matrix as ``Neighbor`` lists."""
+    return [
+        [Neighbor(float(row[i]), int(i)) for i in smallest_k_indices(row, k)]
+        for row in distances
+    ]
+
+
+def range_rows(distances: np.ndarray, radius: float) -> List[List[Neighbor]]:
+    """Per-row range results (``distance <= radius``), sorted by distance."""
+    results = []
+    for row in distances:
+        hits = np.flatnonzero(row <= radius)
+        order = np.lexsort((hits, row[hits]))
+        results.append([Neighbor(float(row[i]), int(i)) for i in hits[order]])
+    return results
+
+
+def exhaustive_knn_batch(
+    metric: Metric, queries: Sequence[Any], points: Sequence[Any], k: int
+) -> List[List[Neighbor]]:
+    """Exact batched kNN by chunked exhaustive distance matrices."""
+    results: List[List[Neighbor]] = []
+    for start, stop in query_chunks(len(queries), len(points)):
+        block = metric.batch_distances(queries[start:stop], points)
+        results.extend(top_k_rows(block, k))
+    return results
+
+
+def exhaustive_range_batch(
+    metric: Metric,
+    queries: Sequence[Any],
+    points: Sequence[Any],
+    radius: float,
+) -> List[List[Neighbor]]:
+    """Exact batched range search by chunked exhaustive distance matrices."""
+    results: List[List[Neighbor]] = []
+    for start, stop in query_chunks(len(queries), len(points)):
+        block = metric.batch_distances(queries[start:stop], points)
+        results.extend(range_rows(block, radius))
+    return results

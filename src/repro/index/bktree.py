@@ -10,10 +10,9 @@ baseline alongside the vector-oriented trees.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List
 
 from repro.index.base import Index, Neighbor
-from repro.metrics.base import Metric
 
 __all__ = ["BKTree"]
 

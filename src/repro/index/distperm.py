@@ -23,7 +23,6 @@ This is also the measurement instrument for Tables 2 and 3:
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -32,14 +31,41 @@ from repro.core.bitpack import PackedPermutationStore
 from repro.core.entropy import EntropyReport, entropy_report
 from repro.core.permutation import (
     footrule_matrix,
+    footrule_matrix_batch,
+    permutation_positions,
     permutations_from_distances,
 )
 from repro.core.storage import StorageReport, storage_report
 from repro.index.base import Index, Neighbor
+from repro.index.batching import (
+    exhaustive_knn_batch,
+    exhaustive_range_batch,
+    query_chunks,
+    scan_knn,
+    take_points,
+)
 from repro.index.pivots import select_pivots
 from repro.metrics.base import Metric
 
 __all__ = ["DistPermIndex"]
+
+
+def _budget_candidates(footrules: np.ndarray, budget: int) -> np.ndarray:
+    """Candidate set of one query: the ``budget`` best footrule ranks.
+
+    Matches the prefix of a *stable* argsort exactly: every index whose
+    footrule is strictly below the partition boundary, then the
+    lowest-numbered indices at the boundary value until the budget is
+    filled.  ``np.argpartition`` keeps this O(n) instead of O(n log n).
+    """
+    n = footrules.shape[0]
+    if budget >= n:
+        return np.arange(n)
+    part = np.argpartition(footrules, budget - 1)[:budget]
+    boundary = footrules[part].max()
+    strict = np.flatnonzero(footrules < boundary)
+    at_boundary = np.flatnonzero(footrules == boundary)
+    return np.concatenate([strict, at_boundary[: budget - strict.shape[0]]])
 
 
 class DistPermIndex(Index):
@@ -82,6 +108,14 @@ class DistPermIndex(Index):
         self.table, self.ids = np.unique(
             self.permutations, axis=0, return_inverse=True
         )
+        # Cached row-wise inverse of the stored permutations: batched
+        # footrule against any query set without re-inverting.  Stored in
+        # the narrow dtype footrule_matrix_batch computes in, so passing
+        # it never re-casts the whole table.
+        positions = permutation_positions(self.permutations)
+        if positions.shape[1] <= np.iinfo(np.int16).max:
+            positions = positions.astype(np.int16)
+        self._perm_positions = positions
 
     @property
     def n_sites(self) -> int:
@@ -91,6 +125,11 @@ class DistPermIndex(Index):
         """Compute the query's distance permutation (k metric evaluations)."""
         distances = self.metric.to_sites([query], self.sites)
         return permutations_from_distances(distances)[0]
+
+    def query_permutations(self, queries: Sequence[Any]) -> np.ndarray:
+        """Distance permutations of a whole query set in one ``to_sites`` call."""
+        distances = self.metric.to_sites(queries, self.sites)
+        return permutations_from_distances(distances)
 
     def unique_permutations(self) -> int:
         """The census of Tables 2–3: ``|{Π_y : y in database}|``."""
@@ -148,7 +187,11 @@ class DistPermIndex(Index):
         return results
 
     def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
-        return self._scan_in_order(query, k, len(self.points))
+        # Exact kNN must verify every candidate (permutations admit no
+        # exclusion bound), so the proximity-preserving order is
+        # irrelevant here: scan in index order without spending the k
+        # site evaluations a query permutation would cost.
+        return scan_knn(self.metric, query, self.points, k)
 
     def knn_approx(
         self, query: Any, k: int, budget: Optional[int] = None
@@ -159,25 +202,66 @@ class DistPermIndex(Index):
         trade recall for distance evaluations — the regime in which the
         permutation index competes with LAESA at a fraction of the storage.
         """
-        if k < 1:
-            raise ValueError("k must be >= 1")
+        return super().knn_approx(query, k, budget=budget)
+
+    def _clamp_budget(self, k: int, budget: Optional[int]) -> int:
         n = len(self.points)
-        budget = n if budget is None else max(k, min(budget, n))
-        before = self.metric.count
-        results = sorted(self._scan_in_order(query, k, budget))
-        self.stats.query_distances += self.metric.count - before
-        self.stats.queries += 1
-        return results
+        return n if budget is None else max(k, min(budget, n))
+
+    def _knn_approx_impl(
+        self, query: Any, k: int, budget: Optional[int]
+    ) -> List[Neighbor]:
+        return self._scan_in_order(query, k, self._clamp_budget(k, budget))
 
     def _scan_in_order(self, query: Any, k: int, budget: int) -> List[Neighbor]:
+        # scan_knn's heap breaks ties exactly as sorted(Neighbor), so the
+        # budget-limited and exact paths agree wherever their candidate
+        # sets do.
         order = self.candidate_order(query)
-        heap: List[tuple] = []
-        for i in order[:budget]:
-            i = int(i)
-            d = self.metric.distance(query, self.points[i])
-            item = (-d, -i)
-            if len(heap) < k:
-                heapq.heappush(heap, item)
-            elif item > heap[0]:
-                heapq.heapreplace(heap, item)
-        return [Neighbor(-nd, -ni) for nd, ni in heap]
+        return scan_knn(self.metric, query, self.points, k,
+                        indices=order[:budget])
+
+    # ------------------------------------------------------------------
+    # Batched query path: one ``to_sites`` call for the whole query set,
+    # a chunked footrule matrix, argpartition-based candidate selection,
+    # and one ``batch_distances`` call per query for verification.
+    # ------------------------------------------------------------------
+
+    def _range_batch_impl(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[List[Neighbor]]:
+        return exhaustive_range_batch(self.metric, queries, self.points, radius)
+
+    def _knn_batch_impl(
+        self, queries: Sequence[Any], k: int
+    ) -> List[List[Neighbor]]:
+        return exhaustive_knn_batch(self.metric, queries, self.points, k)
+
+    def _knn_approx_batch_impl(
+        self, queries: Sequence[Any], k: int, budget: Optional[int]
+    ) -> List[List[Neighbor]]:
+        budget = self._clamp_budget(k, budget)
+        query_perms = self.query_permutations(queries)
+        results: List[List[Neighbor]] = []
+        # Chunking here bounds the (queries x n) footrule *output*;
+        # footrule_matrix_batch additionally bounds its 3-d intermediate.
+        for start, stop in query_chunks(len(queries), len(self.points)):
+            footrules = footrule_matrix_batch(
+                self.permutations,
+                query_perms[start:stop],
+                positions=self._perm_positions,
+            )
+            for offset, row in enumerate(footrules):
+                query = queries[start + offset]
+                candidates = _budget_candidates(row, budget)
+                distances = self.metric.batch_distances(
+                    [query], take_points(self.points, candidates)
+                )[0]
+                order = np.lexsort((candidates, distances))[:k]
+                results.append(
+                    [
+                        Neighbor(float(distances[j]), int(candidates[j]))
+                        for j in order
+                    ]
+                )
+        return results

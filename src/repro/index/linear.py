@@ -4,14 +4,24 @@
 query point to each object in the database in turn" — every other index is
 validated against this one and judged by how many of those ``n`` distance
 evaluations it avoids.
+
+The batched query path has a direct distance-matrix formulation: one
+chunked :meth:`~repro.metrics.base.Metric.batch_distances` call per query
+block plus ``np.argpartition`` top-k extraction, which on vectorized
+metrics replaces ``n`` Python-level metric calls per query with a handful
+of array operations for the whole batch.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, List
+from typing import Any, List, Sequence
 
 from repro.index.base import Index, Neighbor
+from repro.index.batching import (
+    exhaustive_knn_batch,
+    exhaustive_range_batch,
+    scan_knn,
+)
 
 __all__ = ["LinearScan"]
 
@@ -31,13 +41,14 @@ class LinearScan(Index):
         return results
 
     def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
-        # Max-heap of the best k seen so far (negated distances).
-        heap: List[tuple] = []
-        for i, point in enumerate(self.points):
-            d = self.metric.distance(query, point)
-            item = (-d, -i)
-            if len(heap) < k:
-                heapq.heappush(heap, item)
-            elif item > heap[0]:
-                heapq.heapreplace(heap, item)
-        return [Neighbor(-nd, -ni) for nd, ni in heap]
+        return scan_knn(self.metric, query, self.points, k)
+
+    def _range_batch_impl(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[List[Neighbor]]:
+        return exhaustive_range_batch(self.metric, queries, self.points, radius)
+
+    def _knn_batch_impl(
+        self, queries: Sequence[Any], k: int
+    ) -> List[List[Neighbor]]:
+        return exhaustive_knn_batch(self.metric, queries, self.points, k)

@@ -43,6 +43,20 @@ class Metric(ABC):
                 out[i, j] = self.distance(x, y)
         return out
 
+    def batch_distances(
+        self, queries: Sequence[Any], points: Sequence[Any]
+    ) -> np.ndarray:
+        """Return the ``len(queries) x len(points)`` distance matrix.
+
+        This is the primitive behind every batched query path: row ``i``
+        holds the distances from ``queries[i]`` to each point.  The default
+        delegates to :meth:`matrix`, so metrics with a vectorized
+        ``matrix`` override (the Minkowski family, matrix-backed spaces)
+        are vectorized here for free, while string/tree/document metrics
+        keep the scalar loop fallback.
+        """
+        return self.matrix(queries, points)
+
     def to_sites(self, points: Sequence[Any], sites: Sequence[Any]) -> np.ndarray:
         """Return the ``n x k`` matrix of distances from points to sites.
 
@@ -54,9 +68,18 @@ class Metric(ABC):
     def pairwise(self, xs: Sequence[Any]) -> np.ndarray:
         """Return the symmetric all-pairs distance matrix of ``xs``.
 
-        Only the upper triangle is computed; the lower triangle and the
-        zero diagonal are filled in by symmetry.
+        When the subclass overrides :meth:`matrix` with a vectorized
+        implementation, the whole matrix is computed in one batched call
+        and then symmetrized (exact symmetry and a zero diagonal despite
+        float error).  Otherwise only the upper triangle is computed with
+        the scalar metric; the lower triangle and the zero diagonal are
+        filled in by symmetry.
         """
+        if type(self).matrix is not Metric.matrix:
+            out = np.asarray(self.matrix(xs, xs), dtype=np.float64)
+            out = 0.5 * (out + out.T)
+            np.fill_diagonal(out, 0.0)
+            return out
         n = len(xs)
         out = np.zeros((n, n), dtype=np.float64)
         for i in range(n):
@@ -94,6 +117,12 @@ class CountingMetric(Metric):
     def matrix(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
         self.count += len(xs) * len(ys)
         return self.inner.matrix(xs, ys)
+
+    def batch_distances(
+        self, queries: Sequence[Any], points: Sequence[Any]
+    ) -> np.ndarray:
+        self.count += len(queries) * len(points)
+        return self.inner.batch_distances(queries, points)
 
     def to_sites(self, points: Sequence[Any], sites: Sequence[Any]) -> np.ndarray:
         self.count += len(points) * len(sites)

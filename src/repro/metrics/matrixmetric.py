@@ -11,7 +11,7 @@ where all ``k!`` permutations can occur.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -89,12 +89,21 @@ class MinkowskiMetric(Metric):
         """Distances for one chunk of rows; ``a`` is small enough to broadcast."""
         if self.p == 2:
             # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b avoids the n*m*d blow-up.
-            sq = (
+            norms = (
                 np.sum(a * a, axis=1)[:, None]
                 + np.sum(b * b, axis=1)[None, :]
-                - 2.0 * (a @ b.T)
             )
+            sq = norms - 2.0 * (a @ b.T)
             np.maximum(sq, 0.0, out=sq)
+            # The subtraction cancels catastrophically when the points
+            # (nearly) coincide — a self-distance comes out ~1e-8 instead
+            # of 0.  Recompute the few suspect entries directly so batch
+            # results match the scalar path exactly there.
+            suspect = sq <= 1e-10 * norms
+            if np.any(suspect):
+                rows, cols = np.nonzero(suspect)
+                diff = a[rows] - b[cols]
+                sq[rows, cols] = np.sum(diff * diff, axis=1)
             return np.sqrt(sq)
         diff = np.abs(a[:, None, :] - b[None, :, :])
         if self.p == math.inf:

@@ -6,12 +6,9 @@ import numpy as np
 import pytest
 
 from repro.metrics import (
-    AngularDistance,
     ChebyshevDistance,
     CityblockDistance,
     EuclideanDistance,
-    LevenshteinDistance,
-    PrefixDistance,
 )
 
 

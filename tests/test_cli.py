@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -100,6 +99,104 @@ class TestCensus:
             "--metric", "levenshtein",
         ])
         assert code == 1
+
+
+class TestSearch:
+    def test_batched_knn_over_vectors(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((120, 3)))
+        code = main([
+            "search", "--input", str(path), "--kind", "vectors",
+            "--metric", "l2", "--index", "distperm", "--mode", "knn",
+            "--k", "5", "--n-queries", "10", "--show", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queries/sec:" in out
+        assert "distances/query:" in out
+        assert "(batched)" in out
+        assert "query 0:" in out and "query 1:" in out
+
+    def test_knn_approx_budget_caps_cost(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((200, 3)))
+        code = main([
+            "search", "--input", str(path), "--kind", "vectors",
+            "--metric", "l2", "--index", "distperm",
+            "--mode", "knn-approx", "--k", "3", "--budget", "20",
+            "--sites", "4", "--n-queries", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        cost = float(out.split("distances/query: ")[1].split()[0])
+        assert cost == 20 + 4  # budget + site evaluations per query
+
+    def test_no_batch_loops_single_queries(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((60, 2)))
+        code = main([
+            "search", "--input", str(path), "--kind", "vectors",
+            "--metric", "l1", "--index", "linear", "--mode", "range",
+            "--radius", "0.4", "--n-queries", "5", "--no-batch",
+        ])
+        assert code == 0
+        assert "(looped single-query)" in capsys.readouterr().out
+
+    def test_string_workload_with_query_file(self, tmp_path, capsys):
+        db = tmp_path / "words.txt"
+        save_strings(db, ["hello", "help", "word", "world", "cat", "cart",
+                          "care", "core", "bore", "gene"])
+        qfile = tmp_path / "queries.txt"
+        save_strings(qfile, ["helo", "wort"])
+        code = main([
+            "search", "--input", str(db), "--kind", "strings",
+            "--metric", "levenshtein", "--index", "linear",
+            "--mode", "knn", "--k", "3", "--queries", str(qfile),
+            "--show", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 queries" in out
+
+    def test_batch_and_loop_agree(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((80, 3)))
+        argv = [
+            "search", "--input", str(path), "--kind", "vectors",
+            "--metric", "l2", "--index", "aesa", "--mode", "knn",
+            "--k", "4", "--n-queries", "6", "--show", "6",
+        ]
+        assert main(argv) == 0
+        batched = capsys.readouterr().out
+        assert main(argv + ["--no-batch"]) == 0
+        looped = capsys.readouterr().out
+        def extract(text):
+            return [
+                line for line in text.splitlines()
+                if line.startswith("query ")
+            ]
+
+        assert extract(batched) == extract(looped)
+
+    def test_empty_database(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        code = main([
+            "search", "--input", str(path), "--kind", "strings",
+            "--metric", "levenshtein",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_rejects_bad_k(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((10, 2)))
+        code = main([
+            "search", "--input", str(path), "--kind", "vectors",
+            "--metric", "l2", "--k", "0",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
 
 
 class TestOtherCommands:

@@ -117,7 +117,9 @@ class TestPermutationDimension:
 
     def test_custom_reference(self):
         """A calibration curve replaces the theoretical maximum."""
-        reference = lambda d, k: float((d + 1) ** k)
+        def reference(d, k):
+            return float((d + 1) ** k)
+
         estimate = permutation_dimension(8, 3, reference=reference)
         assert estimate == pytest.approx(1.0)
 

@@ -13,7 +13,6 @@ from repro.core.estimate import (
 from repro.core.permutation import (
     count_distinct_permutations,
     distance_permutations,
-    permutations_from_distances,
 )
 from repro.datasets.vectors import uniform_vectors
 from repro.metrics import EuclideanDistance

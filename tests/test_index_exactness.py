@@ -20,7 +20,7 @@ from repro.index import (
     PivotIndex,
     VPTree,
 )
-from repro.metrics import EuclideanDistance, LevenshteinDistance, PrefixDistance
+from repro.metrics import EuclideanDistance, LevenshteinDistance
 
 INDEX_FACTORIES = {
     "pivots": lambda pts, m: PivotIndex(

@@ -7,7 +7,6 @@ dimensionality — crossing module boundaries on purpose.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
@@ -20,11 +19,10 @@ from repro import (
     permutation_dimension,
     tree_permutation_bound,
 )
-from repro.core.permutation import distinct_permutations
 from repro.datasets import load_database, save_permutations, load_permutations
 from repro.datasets.vectors import uniform_vectors
 from repro.index import DistPermIndex, LinearScan, PivotIndex
-from repro.metrics import EuclideanDistance, TreeMetric, random_tree_metric
+from repro.metrics import EuclideanDistance, random_tree_metric
 
 
 class TestTheoryMeetsMeasurement:

@@ -24,7 +24,7 @@ from repro.core.permutation import (
     kendall_tau,
     spearman_footrule,
 )
-from repro.index import AESA, BKTree, LinearScan, PivotIndex
+from repro.index import AESA, LinearScan, PivotIndex
 from repro.metrics import (
     MatrixMetric,
     check_metric_axioms,

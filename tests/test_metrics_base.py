@@ -42,6 +42,64 @@ class TestDefaultBatchMethods:
     def test_callable(self):
         assert _Discrete()("a", "b") == 1.0
 
+    def test_batch_distances_falls_back_to_matrix(self):
+        metric = _Discrete()
+        out = metric.batch_distances(["a", "b"], ["a", "b", "c"])
+        np.testing.assert_array_equal(
+            out, metric.matrix(["a", "b"], ["a", "b", "c"])
+        )
+
+    def test_batch_distances_vectorized_matches_scalar(self, rng):
+        metric = EuclideanDistance()
+        queries = rng.random((5, 3))
+        points = rng.random((7, 3))
+        out = metric.batch_distances(queries, points)
+        assert out.shape == (5, 7)
+        for i, q in enumerate(queries):
+            for j, p in enumerate(points):
+                assert out[i, j] == pytest.approx(metric.distance(q, p))
+
+
+class _VectorizedMatrix(Metric):
+    """Metric overriding ``matrix`` but not ``pairwise``."""
+
+    name = "vectorized"
+
+    def __init__(self):
+        self.matrix_calls = 0
+
+    def distance(self, x, y) -> float:
+        return abs(float(x) - float(y))
+
+    def matrix(self, xs, ys) -> np.ndarray:
+        self.matrix_calls += 1
+        a = np.asarray(xs, dtype=np.float64)
+        b = np.asarray(ys, dtype=np.float64)
+        return np.abs(a[:, None] - b[None, :])
+
+
+class TestPairwiseDelegation:
+    def test_delegates_to_overridden_matrix(self):
+        metric = _VectorizedMatrix()
+        out = metric.pairwise([0.0, 1.0, 3.0])
+        assert metric.matrix_calls == 1
+        np.testing.assert_allclose(
+            out, [[0, 1, 3], [1, 0, 2], [3, 2, 0]]
+        )
+
+    def test_delegated_pairwise_is_symmetric_with_zero_diagonal(self, rng):
+        metric = _VectorizedMatrix()
+        out = metric.pairwise(rng.random(10))
+        np.testing.assert_array_equal(out, out.T)
+        np.testing.assert_array_equal(np.diag(out), np.zeros(10))
+
+    def test_loop_fallback_without_matrix_override(self):
+        metric = _Discrete()
+        out = metric.pairwise(["a", "b", "a"])
+        np.testing.assert_array_equal(
+            out, [[0, 1, 0], [1, 0, 1], [0, 1, 0]]
+        )
+
 
 class TestCountingMetric:
     def test_counts_scalar_calls(self):
@@ -59,6 +117,11 @@ class TestCountingMetric:
         counter = CountingMetric(_Discrete())
         counter.to_sites(list("abcd"), list("xyz"))
         assert counter.count == 12
+
+    def test_counts_batch_distances(self):
+        counter = CountingMetric(_Discrete())
+        counter.batch_distances(list("ab"), list("xyz"))
+        assert counter.count == 6
 
     def test_counts_pairwise_half_matrix(self):
         counter = CountingMetric(_Discrete())

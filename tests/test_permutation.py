@@ -16,6 +16,8 @@ from repro.core.permutation import (
     distance_permutations,
     distinct_permutations,
     footrule_matrix,
+    footrule_matrix_batch,
+    permutation_positions,
     inverse_permutation,
     is_permutation,
     kendall_tau,
@@ -209,3 +211,35 @@ class TestDissimilarities:
         vectorized = footrule_matrix(perms, query)
         for i in range(10):
             assert vectorized[i] == spearman_footrule(tuple(perms[i]), query)
+
+    def test_footrule_matrix_batch_matches_single(self):
+        perms = np.array(
+            [np.random.default_rng(i).permutation(6) for i in range(12)]
+        )
+        query_perms = np.array(
+            [np.random.default_rng(100 + i).permutation(6) for i in range(7)]
+        )
+        batched = footrule_matrix_batch(perms, query_perms)
+        assert batched.shape == (7, 12)
+        for qi in range(7):
+            np.testing.assert_array_equal(
+                batched[qi], footrule_matrix(perms, query_perms[qi])
+            )
+
+    def test_footrule_matrix_batch_accepts_cached_positions(self):
+        perms = np.array(
+            [np.random.default_rng(i).permutation(4) for i in range(8)]
+        )
+        query_perms = np.array([np.random.default_rng(50).permutation(4)])
+        cached = permutation_positions(perms)
+        np.testing.assert_array_equal(
+            footrule_matrix_batch(perms, query_perms, positions=cached),
+            footrule_matrix_batch(perms, query_perms),
+        )
+
+    def test_permutation_positions_inverts_rows(self):
+        perms = np.array([[2, 0, 1], [0, 1, 2]])
+        positions = permutation_positions(perms)
+        np.testing.assert_array_equal(positions, [[1, 2, 0], [0, 1, 2]])
+        for row_perm, row_pos in zip(perms, positions):
+            assert tuple(row_pos) == inverse_permutation(tuple(row_perm))

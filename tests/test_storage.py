@@ -8,9 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.counting import euclidean_permutation_count
 from repro.core.storage import (
-    StorageReport,
     bits_euclidean_element,
     bits_for_count,
     bits_full_permutation,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
@@ -17,7 +16,6 @@ from repro.core.voronoi import (
     realized_permutations_grid,
 )
 from repro.metrics import (
-    ChebyshevDistance,
     CityblockDistance,
     EuclideanDistance,
 )
