@@ -1,0 +1,197 @@
+"""Bench: vectorized discrete-metric kernels versus the scalar loop.
+
+Measures the string-metric hot paths the paper's Tables 2–3 run on —
+site-distance matrices (``to_sites``), full index builds, the permutation
+census, and budgeted batched kNN — on a dictionary analogue (English,
+n=10k, k=12 sites: the acceptance workload) and a gene-sequence analogue,
+comparing the encoded batched kernels against the scalar double loop and
+recording the numbers in ``BENCH_metrics.json`` as the start of the
+metric-kernel perf trajectory.
+
+Run from the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_metrics.py            # full
+    PYTHONPATH=src python benchmarks/bench_metrics.py --smoke    # CI sizes
+
+The full run asserts the ≥20x ``to_sites`` speedup on the dictionary
+workload and exits nonzero if a kernel regression loses it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.estimate import StreamingCensus  # noqa: E402
+from repro.datasets.dictionaries import synthetic_dictionary  # noqa: E402
+from repro.datasets.sequences import genome_prefix_sequences  # noqa: E402
+from repro.index import DistPermIndex  # noqa: E402
+from repro.metrics import LevenshteinDistance  # noqa: E402
+from repro.metrics.base import Metric  # noqa: E402
+from repro.metrics.encoding import clear_encoding_cache  # noqa: E402
+
+#: Acceptance floor for the dictionary ``to_sites`` speedup (full mode).
+REQUIRED_SPEEDUP = 20.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _scalar_to_sites_seconds(metric, points, sites, sample_size):
+    """Extrapolate the scalar double loop from a point subsample.
+
+    Per-point cost is flat across the database, so timing ``sample_size``
+    points and scaling by ``n / sample_size`` is faithful — and keeps the
+    bench from spending minutes inside the loop being replaced.
+    """
+    sample = points[:sample_size]
+    reference, elapsed = _timed(lambda: Metric.matrix(metric, sample, sites))
+    return reference, elapsed * len(points) / len(sample)
+
+
+def run_workload(name, points, n_sites, n_queries, budget, sample_size, rng):
+    metric = LevenshteinDistance()
+    site_indices = rng.choice(len(points), size=n_sites, replace=False)
+    sites = [points[int(i)] for i in site_indices]
+
+    # Cold vectorized to_sites: includes the one-time dataset encoding.
+    clear_encoding_cache()
+    vectorized, t_vectorized = _timed(lambda: metric.to_sites(points, sites))
+    reference, t_scalar = _scalar_to_sites_seconds(
+        metric, points, sites, sample_size
+    )
+    if not np.array_equal(reference, vectorized[: len(reference)]):
+        raise AssertionError(f"{name}: kernel disagrees with scalar loop")
+    speedup = t_scalar / t_vectorized
+
+    # Full index build through the unchanged call sites (warm encoding).
+    index, t_build = _timed(
+        lambda: DistPermIndex(
+            points,
+            LevenshteinDistance(),
+            site_indices=[int(i) for i in site_indices],
+        )
+    )
+
+    # The paper's census, streamed in batches over the same sites.
+    def census_run():
+        census = StreamingCensus()
+        for start in range(0, len(points), 2048):
+            census.update_points(
+                points[start : start + 2048], sites, metric
+            )
+        return census
+
+    census, t_census = _timed(census_run)
+    assert census.distinct == index.unique_permutations()
+
+    # Budgeted batched kNN straight through the batch query engine.
+    queries = [
+        points[int(i)]
+        for i in rng.choice(len(points), size=n_queries, replace=False)
+    ]
+    _, t_knn = _timed(
+        lambda: index.knn_approx_batch(queries, 10, budget=budget)
+    )
+
+    result = {
+        "dataset": name,
+        "n": len(points),
+        "k": n_sites,
+        "mean_length": round(float(np.mean([len(p) for p in points])), 2),
+        "to_sites_scalar_s": round(t_scalar, 4),
+        "to_sites_scalar_sample": sample_size,
+        "to_sites_vectorized_s": round(t_vectorized, 4),
+        "to_sites_speedup": round(speedup, 1),
+        "index_build_s": round(t_build, 4),
+        "census_distinct": census.distinct,
+        "census_s": round(t_census, 4),
+        "knn_approx_queries": n_queries,
+        "knn_approx_budget": budget,
+        "knn_approx_qps": round(n_queries / t_knn, 1),
+    }
+    print(
+        f"{name}: to_sites {t_scalar * 1e3:8.1f} ms scalar -> "
+        f"{t_vectorized * 1e3:7.1f} ms vectorized ({speedup:.1f}x), "
+        f"build {t_build * 1e3:.1f} ms, census {census.distinct} distinct "
+        f"in {t_census * 1e3:.1f} ms, knn_approx {result['knn_approx_qps']} q/s"
+    )
+    return result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: exercises every kernel, skips the "
+        "speedup assertion, writes no JSON unless --output is given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"result JSON path (default: {REPO_ROOT / 'BENCH_metrics.json'})",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(20080415)  # the paper's conference date
+    if args.smoke:
+        dictionary = synthetic_dictionary("English", 300, rng)
+        genes = genome_prefix_sequences(200, rng=rng)
+        workloads = [
+            run_workload("dictionary-en", dictionary, 4, 10, 50, 100, rng),
+            run_workload("gene-sequences", genes, 4, 10, 50, 50, rng),
+        ]
+    else:
+        dictionary = synthetic_dictionary("English", 10_000, rng)
+        genes = genome_prefix_sequences(5_000, rng=rng)
+        workloads = [
+            run_workload("dictionary-en", dictionary, 12, 200, 500, 500, rng),
+            run_workload("gene-sequences", genes, 12, 100, 500, 100, rng),
+        ]
+
+    report = {
+        "bench": "bench_metrics",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "workloads": workloads,
+    }
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_metrics.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    if not args.smoke:
+        dict_speedup = workloads[0]["to_sites_speedup"]
+        if dict_speedup < REQUIRED_SPEEDUP:
+            print(
+                f"FAIL: dictionary to_sites speedup {dict_speedup:.1f}x "
+                f"< required {REQUIRED_SPEEDUP}x"
+            )
+            return 1
+        print(
+            f"OK: dictionary to_sites speedup {dict_speedup:.1f}x "
+            f">= {REQUIRED_SPEEDUP}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ databases that do not fit in memory two standard tools apply:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -35,19 +35,38 @@ class StreamingCensus:
     """
 
     def __init__(self) -> None:
-        self._counts: Dict[Tuple[int, ...], int] = {}
+        self._counts: Dict[bytes, int] = {}
         self._total = 0
 
     def update(self, perms: np.ndarray) -> None:
-        """Fold one ``(n, k)`` batch of permutations into the census."""
+        """Fold one ``(n, k)`` batch of permutations into the census.
+
+        Rows are normalized to contiguous ``int64`` and deduplicated with
+        one :func:`np.unique` over a per-row void view — a single sort of
+        ``n`` fixed-width byte rows instead of ``np.unique(axis=0)``'s
+        column-lexicographic sort — so Python-level work is proportional
+        to the number of *distinct* permutations in the batch (small, by
+        the paper's counting results), not to ``n``.
+        """
         perms = np.asarray(perms)
         if perms.ndim != 2:
             raise ValueError(f"expected (n, k) batch, got {perms.shape}")
-        unique, counts = np.unique(perms, axis=0, return_counts=True)
+        n, k = perms.shape
+        if n == 0:
+            return
+        if k == 0:
+            self._counts[b""] = self._counts.get(b"", 0) + n
+            self._total += n
+            return
+        rows = np.ascontiguousarray(perms.astype(np.int64, copy=False))
+        row_view = rows.view(
+            np.dtype((np.void, rows.dtype.itemsize * k))
+        ).ravel()
+        unique, counts = np.unique(row_view, return_counts=True)
         for row, count in zip(unique, counts):
-            key = tuple(int(v) for v in row)
+            key = row.tobytes()
             self._counts[key] = self._counts.get(key, 0) + int(count)
-        self._total += perms.shape[0]
+        self._total += n
 
     def update_points(
         self, points: Sequence, sites: Sequence, metric: Metric

@@ -140,9 +140,18 @@ def exhaustive_range_batch(
     points: Sequence[Any],
     radius: float,
 ) -> List[List[Neighbor]]:
-    """Exact batched range search by chunked exhaustive distance matrices."""
+    """Exact batched range search by chunked exhaustive distance matrices.
+
+    Uses :meth:`~repro.metrics.base.Metric.batch_distances_within`, whose
+    contract fits range filtering exactly: every entry at or under the
+    radius is the true distance, and entries beyond it only need to stay
+    beyond it — which lets metrics with a banded kernel (Levenshtein)
+    skip the full DP on pairs the query discards.
+    """
     results: List[List[Neighbor]] = []
     for start, stop in query_chunks(len(queries), len(points)):
-        block = metric.batch_distances(queries[start:stop], points)
+        block = metric.batch_distances_within(
+            queries[start:stop], points, radius
+        )
         results.extend(range_rows(block, radius))
     return results

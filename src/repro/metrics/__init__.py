@@ -9,6 +9,7 @@ evaluations, not wall-clock time).
 
 from repro.metrics.base import CountingMetric, Metric
 from repro.metrics.documents import AngularDistance, CosineDissimilarity
+from repro.metrics.encoding import EncodedStrings, encode_strings
 from repro.metrics.matrixmetric import (
     MatrixMetric,
     metric_closure,
@@ -25,6 +26,7 @@ from repro.metrics.strings import (
     HammingDistance,
     LevenshteinDistance,
     PrefixDistance,
+    StringMetric,
     hamming,
     levenshtein,
     longest_common_prefix,
@@ -45,6 +47,7 @@ __all__ = [
     "CityblockDistance",
     "CosineDissimilarity",
     "CountingMetric",
+    "EncodedStrings",
     "EuclideanDistance",
     "HammingDistance",
     "LevenshteinDistance",
@@ -53,11 +56,13 @@ __all__ = [
     "MetricViolation",
     "MinkowskiMetric",
     "PrefixDistance",
+    "StringMetric",
     "TreeMetric",
     "check_identity",
     "check_metric_axioms",
     "check_symmetry",
     "check_triangle_inequality",
+    "encode_strings",
     "hamming",
     "levenshtein",
     "longest_common_prefix",

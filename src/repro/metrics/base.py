@@ -10,7 +10,7 @@ evaluations so indexes can report that cost faithfully.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -42,6 +42,44 @@ class Metric(ABC):
             for j, y in enumerate(ys):
                 out[i, j] = self.distance(x, y)
         return out
+
+    def encode(self, points: Sequence[Any]) -> Optional[Any]:
+        """Return a reusable batched encoding of ``points``, or ``None``.
+
+        Metrics with a batched kernel (the string family) return an
+        encoded, cached form of the collection that
+        :meth:`matrix_encoded` consumes; encoding a collection once and
+        reusing it across every matrix call is what makes index builds,
+        censuses, and batched queries on discrete data cheap.  The
+        default returns ``None``: no encoded path, scalar or
+        ndarray-vectorized ``matrix`` applies.  Encodings must support
+        ``len()`` so instrumentation can count matrix entries.
+        """
+        return None
+
+    def matrix_encoded(self, xs_encoded: Any, ys_encoded: Any) -> np.ndarray:
+        """Distance matrix between two collections encoded by :meth:`encode`.
+
+        Only meaningful for metrics whose :meth:`encode` returns a
+        non-``None`` encoding; values must equal :meth:`matrix` on the
+        decoded collections entry for entry.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no encoded matrix kernel"
+        )
+
+    def batch_distances_within(
+        self, queries: Sequence[Any], points: Sequence[Any], radius: float
+    ) -> np.ndarray:
+        """Distance matrix specialized for range filtering at ``radius``.
+
+        Entries whose true distance is ``<= radius`` are exact; entries
+        beyond the radius may be replaced by any *lower bound* that still
+        exceeds ``radius``, which lets metrics skip work on pairs a range
+        query will discard (the Levenshtein length-gap prefilter and
+        early-exit pruning).  The default computes the full exact matrix.
+        """
+        return self.batch_distances(queries, points)
 
     def batch_distances(
         self, queries: Sequence[Any], points: Sequence[Any]
@@ -123,6 +161,23 @@ class CountingMetric(Metric):
     ) -> np.ndarray:
         self.count += len(queries) * len(points)
         return self.inner.batch_distances(queries, points)
+
+    def encode(self, points: Sequence[Any]) -> Any:
+        # Encoding is preprocessing, not a distance evaluation.
+        return self.inner.encode(points)
+
+    def matrix_encoded(self, xs_encoded: Any, ys_encoded: Any) -> np.ndarray:
+        self.count += len(xs_encoded) * len(ys_encoded)
+        return self.inner.matrix_encoded(xs_encoded, ys_encoded)
+
+    def batch_distances_within(
+        self, queries: Sequence[Any], points: Sequence[Any], radius: float
+    ) -> np.ndarray:
+        # Pruned entries still count: the cost model charges one
+        # evaluation per matrix entry, pruned or not, so batched range
+        # accounting matches the looped scalar scan exactly.
+        self.count += len(queries) * len(points)
+        return self.inner.batch_distances_within(queries, points, radius)
 
     def to_sites(self, points: Sequence[Any], sites: Sequence[Any]) -> np.ndarray:
         self.count += len(points) * len(sites)

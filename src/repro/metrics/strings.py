@@ -4,26 +4,48 @@ The paper's experiments run on dictionaries and gene sequences under the
 Levenshtein edit distance, and Section 3 introduces the *prefix metric* —
 a tree metric on strings where an edit may only add or remove a letter at
 the right-hand end (Definition 3).
+
+All three metrics share the :class:`StringMetric` batched-kernel wiring:
+``matrix`` (and therefore ``to_sites``, ``batch_distances``, and
+``pairwise``) encodes each collection once into padded code-point
+matrices (:mod:`repro.metrics.encoding`) and computes whole distance
+matrices vectorized, falling back to the scalar loop only for
+non-string inputs.
 """
 
 from __future__ import annotations
 
+from typing import Any, Optional, Sequence
+
 import numpy as np
 
 from repro.metrics.base import Metric
+from repro.metrics.encoding import (
+    EncodedStrings,
+    encode_strings,
+    hamming_matrix,
+    levenshtein_matrix,
+    prefix_distance_matrix,
+)
 
 __all__ = [
     "levenshtein",
     "prefix_distance",
     "longest_common_prefix",
     "hamming",
+    "StringMetric",
     "LevenshteinDistance",
     "PrefixDistance",
     "HammingDistance",
 ]
 
-#: Strings longer than this use the numpy row-DP implementation.
-_NUMPY_THRESHOLD = 32
+#: Strings longer than this use the numpy row-DP implementation.  Measured
+#: crossover (CPython 3.11, numpy 2.4, random equal-length 'acgt' pairs,
+#: best of 600 calls per length): Python DP 20 µs vs numpy 41 µs at
+#: length 8, 72 µs vs 77 µs at 16, 162 µs vs 119 µs at 24, 298 µs vs
+#: 150 µs at 32, 6.5 ms vs 0.84 ms at 160.  20 splits the measured 16–24
+#: crossover band (the seed's 32 left ~2x on the table at length 32).
+_NUMPY_THRESHOLD = 20
 
 
 def _levenshtein_python(a: str, b: str) -> int:
@@ -69,19 +91,40 @@ def _levenshtein_numpy(a: str, b: str) -> int:
     return int(previous[-1])
 
 
-def levenshtein(a: str, b: str) -> int:
+def levenshtein(a: str, b: str, max_distance: Optional[int] = None) -> int:
     """Return the Levenshtein edit distance between two strings.
 
     Uses a pure-Python DP for short strings and a numpy-vectorized row DP
     for long ones (e.g. gene sequences), both computing the exact unit-cost
-    insert/delete/substitute distance.
+    insert/delete/substitute distance.  The DP only ever sees the middle
+    of the strings: the common prefix and suffix are stripped first, since
+    an optimal edit script never touches them.
+
+    ``max_distance`` enables the ``|len(a) - len(b)|`` lower-bound
+    short-circuit: when the length gap alone exceeds the bound, that gap
+    (a valid lower bound on the distance, itself ``> max_distance``) is
+    returned without running the DP.  Exact whenever the true distance is
+    ``<= max_distance``.
     """
     if a == b:
         return 0
-    if not a:
-        return len(b)
-    if not b:
-        return len(a)
+    lower = abs(len(a) - len(b))
+    if max_distance is not None and lower > max_distance:
+        return lower
+    # Strip the common prefix and suffix: edits never touch them.
+    start = 0
+    limit = min(len(a), len(b))
+    while start < limit and a[start] == b[start]:
+        start += 1
+    end_a, end_b = len(a), len(b)
+    while end_a > start and end_b > start and a[end_a - 1] == b[end_b - 1]:
+        end_a -= 1
+        end_b -= 1
+    a = a[start:end_a]
+    b = b[start:end_b]
+    if not a or not b:
+        # One side is a prefix+suffix of the other: the gap is the answer.
+        return len(a) + len(b)
     if min(len(a), len(b)) >= _NUMPY_THRESHOLD:
         return _levenshtein_numpy(a, b)
     return _levenshtein_python(a, b)
@@ -115,7 +158,36 @@ def hamming(a: str, b: str) -> int:
     return sum(ca != cb for ca, cb in zip(a, b))
 
 
-class LevenshteinDistance(Metric):
+class StringMetric(Metric):
+    """Shared batched-kernel wiring for metrics on strings.
+
+    :meth:`encode` turns a string collection into a cached
+    :class:`~repro.metrics.encoding.EncodedStrings`; :meth:`matrix`
+    dispatches to the subclass's vectorized :meth:`matrix_encoded`
+    whenever both sides encode, and transparently falls back to the
+    scalar double loop otherwise (mixed or non-string inputs).  Because
+    ``to_sites``, ``batch_distances``, and ``pairwise`` all route through
+    ``matrix``, every index build, census, and batched query gets the
+    kernel without call-site changes.
+    """
+
+    def encode(self, points: Sequence[Any]) -> Optional[EncodedStrings]:
+        if isinstance(points, EncodedStrings):
+            return points
+        try:
+            return encode_strings(points)
+        except TypeError:
+            return None
+
+    def matrix(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        xs_encoded = self.encode(xs)
+        ys_encoded = self.encode(ys) if xs_encoded is not None else None
+        if xs_encoded is None or ys_encoded is None:
+            return super().matrix(xs, ys)
+        return self.matrix_encoded(xs_encoded, ys_encoded)
+
+
+class LevenshteinDistance(StringMetric):
     """Unit-cost edit distance; the metric of the dictionary databases."""
 
     name = "levenshtein"
@@ -123,8 +195,33 @@ class LevenshteinDistance(Metric):
     def distance(self, x: str, y: str) -> float:
         return float(levenshtein(x, y))
 
+    def matrix_encoded(
+        self, xs_encoded: EncodedStrings, ys_encoded: EncodedStrings
+    ) -> np.ndarray:
+        return levenshtein_matrix(xs_encoded, ys_encoded).astype(np.float64)
 
-class PrefixDistance(Metric):
+    def batch_distances_within(
+        self, queries: Sequence[Any], points: Sequence[Any], radius: float
+    ) -> np.ndarray:
+        queries_encoded = self.encode(queries)
+        points_encoded = (
+            self.encode(points) if queries_encoded is not None else None
+        )
+        if (
+            queries_encoded is None
+            or points_encoded is None
+            or not np.isfinite(radius)
+        ):
+            return self.batch_distances(queries, points)
+        # Distances are integers, so d <= radius iff d <= floor(radius);
+        # pruned entries surface as integer lower bounds > floor(radius),
+        # hence > radius.
+        return levenshtein_matrix(
+            queries_encoded, points_encoded, max_distance=int(radius)
+        ).astype(np.float64)
+
+
+class PrefixDistance(StringMetric):
     """The prefix metric of Definition 3 — a simple tree metric (Fig. 5)."""
 
     name = "prefix"
@@ -132,11 +229,23 @@ class PrefixDistance(Metric):
     def distance(self, x: str, y: str) -> float:
         return float(prefix_distance(x, y))
 
+    def matrix_encoded(
+        self, xs_encoded: EncodedStrings, ys_encoded: EncodedStrings
+    ) -> np.ndarray:
+        return prefix_distance_matrix(xs_encoded, ys_encoded).astype(
+            np.float64
+        )
 
-class HammingDistance(Metric):
+
+class HammingDistance(StringMetric):
     """Hamming distance on equal-length strings."""
 
     name = "hamming"
 
     def distance(self, x: str, y: str) -> float:
         return float(hamming(x, y))
+
+    def matrix_encoded(
+        self, xs_encoded: EncodedStrings, ys_encoded: EncodedStrings
+    ) -> np.ndarray:
+        return hamming_matrix(xs_encoded, ys_encoded).astype(np.float64)

@@ -24,7 +24,12 @@ from repro.index import (
     PivotIndex,
     VPTree,
 )
-from repro.metrics import EuclideanDistance, LevenshteinDistance
+from repro.metrics import (
+    EuclideanDistance,
+    HammingDistance,
+    LevenshteinDistance,
+    PrefixDistance,
+)
 
 INDEX_FACTORIES = {
     "linear": lambda pts, m: LinearScan(pts, m),
@@ -66,6 +71,39 @@ def string_setup():
     })
     queries = ["ab", "cba", "aaaa", "bc"]
     return words, queries, LevenshteinDistance
+
+
+def _string_database(metric_cls):
+    """A tie-heavy word database and queries suited to the metric.
+
+    Hamming needs uniform lengths; the edit metrics get the mixed-length
+    set so the Levenshtein banded range path and prefix LCP both see
+    length variation.
+    """
+    rng = np.random.default_rng(78)
+    letters = "abc"
+    if metric_cls is HammingDistance:
+        words = list({
+            "".join(letters[i] for i in rng.integers(0, 3, size=5))
+            for _ in range(150)
+        })
+        queries = ["ababa", "ccccc", "abcab", "bbbbb"]
+    else:
+        words = list({
+            "".join(
+                letters[i] for i in rng.integers(0, 3, size=rng.integers(2, 7))
+            )
+            for _ in range(150)
+        })
+        queries = ["ab", "cba", "aaaa", "bc"]
+    return words, queries
+
+
+STRING_METRICS = {
+    "levenshtein": LevenshteinDistance,
+    "prefix": PrefixDistance,
+    "hamming": HammingDistance,
+}
 
 
 def _assert_batch_matches_loop(index_factory, points, queries, metric_cls, k, radius):
@@ -117,12 +155,20 @@ class TestVectorizedMetricEquivalence:
         assert batched_stats == looped_stats
 
 
+@pytest.mark.parametrize("metric_name", STRING_METRICS)
 @pytest.mark.parametrize("name", INDEX_FACTORIES)
 class TestTieHeavyMetricEquivalence:
-    """Discrete distances make ties pervasive: the hard tie-breaking case."""
+    """Discrete distances make ties pervasive: the hard tie-breaking case.
 
-    def test_batch_matches_loop(self, name, string_setup):
-        words, queries, metric_cls = string_setup
+    Every string metric runs through every index: the batched path routes
+    through the encoded kernels (including Levenshtein's banded range
+    matrix), the looped path through the scalar metric, and the two must
+    agree answer for answer and in the evaluation accounts.
+    """
+
+    def test_batch_matches_loop(self, name, metric_name):
+        metric_cls = STRING_METRICS[metric_name]
+        words, queries = _string_database(metric_cls)
         _assert_batch_matches_loop(
             INDEX_FACTORIES[name], words, queries, metric_cls,
             k=9, radius=2,
@@ -234,8 +280,10 @@ class TestBKTreeBatchFallback:
     """BKTree has no vectorized override: the generic fallback must still
     satisfy the batch contract on its native discrete-metric workload."""
 
-    def test_batch_matches_loop(self, string_setup):
-        words, queries, metric_cls = string_setup
+    @pytest.mark.parametrize("metric_name", STRING_METRICS)
+    def test_batch_matches_loop(self, metric_name):
+        metric_cls = STRING_METRICS[metric_name]
+        words, queries = _string_database(metric_cls)
         _assert_batch_matches_loop(
             lambda pts, m: BKTree(pts, m), words, queries, metric_cls,
             k=5, radius=1,

@@ -53,6 +53,37 @@ class TestStreamingCensus:
         assert census.distinct == 0
         assert census.chao1() == 0.0
 
+    def test_matches_dict_of_tuples_reference(self, rng):
+        """The void-view unique path must agree with the naive per-row
+        dict on random batches, including across mixed input dtypes."""
+        census = StreamingCensus()
+        reference = {}
+        for dtype in (np.int8, np.int32, np.int64, np.intp):
+            batch = rng.integers(0, 4, size=(200, 5)).astype(dtype)
+            census.update(batch)
+            for row in batch:
+                key = tuple(int(v) for v in row)
+                reference[key] = reference.get(key, 0) + 1
+        assert census.distinct == len(reference)
+        assert census.total == 800
+        expected_fof = {}
+        for count in reference.values():
+            expected_fof[count] = expected_fof.get(count, 0) + 1
+        assert census.frequency_of_frequencies() == expected_fof
+
+    def test_empty_batch_is_noop(self):
+        census = StreamingCensus()
+        census.update(np.empty((0, 4), dtype=np.int64))
+        assert census.distinct == 0
+        assert census.total == 0
+
+    def test_zero_width_permutations(self):
+        census = StreamingCensus()
+        census.update(np.empty((3, 0), dtype=np.int64))
+        assert census.distinct == 1
+        assert census.total == 3
+        assert census.frequency_of_frequencies() == {3: 1}
+
 
 class TestChao1:
     def test_no_singletons_returns_observed(self):

@@ -89,6 +89,28 @@ class TestLevenshtein:
         violation = check_metric_axioms(LevenshteinDistance(), small_words)
         assert violation is None, str(violation)
 
+    @given(short_text, short_text, st.integers(min_value=0, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_max_distance_short_circuit(self, a, b, bound):
+        """Bounded calls agree with the exact distance on the <= bound
+        question, return the exact value whenever it is within the bound,
+        and never overestimate."""
+        exact = levenshtein(a, b)
+        reported = levenshtein(a, b, max_distance=bound)
+        assert reported <= exact
+        assert (reported <= bound) == (exact <= bound)
+        if exact <= bound:
+            assert reported == exact
+
+    def test_max_distance_returns_length_gap(self):
+        assert levenshtein("ab", "abcdefg", max_distance=2) == 5
+
+    @given(long_text, long_text)
+    @settings(max_examples=20, deadline=None)
+    def test_long_strings_match_reference(self, a, b):
+        """Exercise the numpy dispatch (plus affix stripping) end to end."""
+        assert levenshtein(a, b) == _levenshtein_reference(a, b)
+
 
 class TestPrefixDistance:
     def test_paper_figure5_style_values(self):
