@@ -1,23 +1,53 @@
-"""Bench: Theorem 4 / Corollary 5 / Figure 5 — tree metrics.
+"""Bench: trees, twice over.
+
+**Pytest benchmarks** (Theorem 4 / Corollary 5 / Figure 5 — tree metrics):
 
 - random trees never exceed ``C(k,2) + 1`` distance permutations;
 - the Corollary 5 path construction achieves the bound exactly for every k;
 - the prefix metric (Fig 5) is a tree metric realizing the same bound on
   string data.
+
+**Standalone tree-index benchmark** (run directly): build and
+batched-query throughput of the four tree *indexes* (BK, VP, GH, List of
+Clusters) on their array-backed substrate, versus looping the
+single-query API — the paper's classic baselines on the dictionary
+Levenshtein workload and an 8-d Euclidean workload.  Results go to
+``BENCH_trees.json``; the full run asserts that at least two tree
+indexes hold a >= 10x batched-query speedup on the dictionary workload.
+
+    PYTHONPATH=src python benchmarks/bench_tree.py            # full
+    PYTHONPATH=src python benchmarks/bench_tree.py --smoke    # CI sizes
 """
 
 from __future__ import annotations
 
-import numpy as np
-from conftest import write_result
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
 
-from repro.core.constructions import corollary5_path_space
-from repro.core.counting import tree_permutation_bound
-from repro.core.permutation import (
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+from conftest import write_result  # noqa: E402
+
+from repro.core.constructions import corollary5_path_space  # noqa: E402
+from repro.core.counting import tree_permutation_bound  # noqa: E402
+from repro.core.permutation import (  # noqa: E402
     count_distinct_permutations,
     distance_permutations,
 )
-from repro.metrics import PrefixDistance, random_tree_metric
+from repro.datasets.dictionaries import synthetic_dictionary  # noqa: E402
+from repro.index import BKTree, GHTree, ListOfClusters, VPTree  # noqa: E402
+from repro.metrics import (  # noqa: E402
+    EuclideanDistance,
+    LevenshteinDistance,
+    PrefixDistance,
+    random_tree_metric,
+)
 
 
 def test_corollary5_achieves_bound_for_all_k(benchmark, results_dir):
@@ -79,3 +109,198 @@ def test_prefix_metric_achieves_bound(benchmark, results_dir):
         f"prefix metric, k={k} sites on an 'aaaa...' path: "
         f"{count} permutations = C({k},2)+1 = {tree_permutation_bound(k)}",
     )
+
+
+# ----------------------------------------------------------------------
+# Standalone tree-index benchmark (python benchmarks/bench_tree.py).
+# ----------------------------------------------------------------------
+
+#: Acceptance floor: at least this many tree indexes must beat the
+#: looped single-query fallback by REQUIRED_SPEEDUP on the dictionary
+#: Levenshtein workload in full mode.
+REQUIRED_SPEEDUP = 10.0
+REQUIRED_INDEXES = 2
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _looped_seconds(run_one, queries, sample_size):
+    """Time the single-query loop on a subsample, scaled to the full set.
+
+    Per-query cost is flat across a homogeneous query sample, so timing
+    ``sample_size`` queries and scaling is faithful while keeping the
+    loop being replaced from dominating the bench's wall clock.
+    """
+    sample = queries[: min(sample_size, len(queries))]
+    _, elapsed = _timed(lambda: [run_one(q) for q in sample])
+    return elapsed * len(queries) / len(sample)
+
+
+def _bench_index(name, factory, queries, radius, k, loop_sample):
+    index, t_build = _timed(factory)
+
+    index.reset_stats()
+    batched_range, t_range_batch = _timed(
+        lambda: index.range_batch(queries, radius)
+    )
+    range_distances = index.stats.query_distances
+    _, t_knn_batch = _timed(lambda: index.knn_batch(queries, k))
+
+    t_range_loop = _looped_seconds(
+        lambda q: index.range_query(q, radius), queries, loop_sample
+    )
+    t_knn_loop = _looped_seconds(
+        lambda q: index.knn_query(q, k), queries, loop_sample
+    )
+
+    n_queries = len(queries)
+    result = {
+        "index": name,
+        "build_s": round(t_build, 4),
+        "build_distances": index.stats.build_distances,
+        "range_radius": radius,
+        "range_hits": sum(len(r) for r in batched_range),
+        "range_distances_per_query": round(range_distances / n_queries, 1),
+        "range_batched_qps": round(n_queries / t_range_batch, 1),
+        "range_looped_qps": round(n_queries / t_range_loop, 1),
+        "range_speedup": round(t_range_loop / t_range_batch, 1),
+        "knn_k": k,
+        "knn_batched_qps": round(n_queries / t_knn_batch, 1),
+        "knn_looped_qps": round(n_queries / t_knn_loop, 1),
+        "knn_speedup": round(t_knn_loop / t_knn_batch, 1),
+    }
+    print(
+        f"  {name:12s} build {t_build * 1e3:8.1f} ms | "
+        f"range {result['range_looped_qps']:8.1f} -> "
+        f"{result['range_batched_qps']:8.1f} q/s "
+        f"({result['range_speedup']:5.1f}x) | "
+        f"knn {result['knn_looped_qps']:8.1f} -> "
+        f"{result['knn_batched_qps']:8.1f} q/s "
+        f"({result['knn_speedup']:5.1f}x)"
+    )
+    return result
+
+
+def run_dictionary_workload(n, n_queries, loop_sample, rng):
+    """The paper's Table 2 regime: a dictionary under edit distance."""
+    words = synthetic_dictionary("English", n, rng)
+    queries = [
+        words[int(i)]
+        for i in rng.choice(len(words), size=n_queries, replace=False)
+    ]
+    print(f"dictionary-levenshtein: n={len(words)}, {n_queries} queries")
+    metric = LevenshteinDistance
+    factories = {
+        "bktree": lambda: BKTree(words, metric()),
+        "vptree": lambda: VPTree(
+            words, metric(), rng=np.random.default_rng(1)
+        ),
+        "ghtree": lambda: GHTree(
+            words, metric(), rng=np.random.default_rng(2)
+        ),
+        "listclusters": lambda: ListOfClusters(
+            words, metric(), bucket_size=16, rng=np.random.default_rng(3)
+        ),
+    }
+    results = [
+        _bench_index(name, factory, queries, 1, 10, loop_sample)
+        for name, factory in factories.items()
+    ]
+    return {"dataset": "dictionary-levenshtein", "n": n, "indexes": results}
+
+
+def run_euclidean_workload(n, n_queries, loop_sample, rng):
+    """An 8-d uniform vector workload under L2 (no BK: non-integer)."""
+    points = rng.random((n, 8))
+    queries = rng.random((n_queries, 8))
+    print(f"euclidean-8d: n={n}, {n_queries} queries")
+    metric = EuclideanDistance
+    factories = {
+        "vptree": lambda: VPTree(
+            points, metric(), rng=np.random.default_rng(4)
+        ),
+        "ghtree": lambda: GHTree(
+            points, metric(), rng=np.random.default_rng(5)
+        ),
+        "listclusters": lambda: ListOfClusters(
+            points, metric(), bucket_size=16, rng=np.random.default_rng(6)
+        ),
+    }
+    results = [
+        _bench_index(name, factory, queries, 0.45, 10, loop_sample)
+        for name, factory in factories.items()
+    ]
+    return {"dataset": "euclidean-8d", "n": n, "indexes": results}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Tree-index substrate benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: exercises every tree's batched build "
+        "and query paths, skips the speedup assertion, writes no JSON "
+        "unless --output is given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"result JSON path (default: {REPO_ROOT / 'BENCH_trees.json'})",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(20080415)  # the paper's conference date
+    if args.smoke:
+        workloads = [
+            run_dictionary_workload(300, 20, 10, rng),
+            run_euclidean_workload(300, 20, 10, rng),
+        ]
+    else:
+        workloads = [
+            run_dictionary_workload(5_000, 500, 40, rng),
+            run_euclidean_workload(5_000, 500, 40, rng),
+        ]
+
+    report = {
+        "bench": "bench_tree",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "workloads": workloads,
+    }
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_trees.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    if not args.smoke:
+        winners = [
+            r["index"]
+            for r in workloads[0]["indexes"]
+            if max(r["range_speedup"], r["knn_speedup"]) >= REQUIRED_SPEEDUP
+        ]
+        if len(winners) < REQUIRED_INDEXES:
+            print(
+                f"FAIL: only {winners} beat {REQUIRED_SPEEDUP}x on the "
+                f"dictionary workload (need {REQUIRED_INDEXES})"
+            )
+            return 1
+        print(
+            f"OK: {winners} hold >= {REQUIRED_SPEEDUP}x batched-query "
+            "speedup on the dictionary workload"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

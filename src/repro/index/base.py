@@ -92,9 +92,13 @@ class Index(ABC):
         """Return all points within ``radius`` of ``query`` (inclusive)."""
 
     def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
-        """Default kNN: shrink a range query via the growing result set."""
-        # Generic fallback: scan with the current k-th distance as radius.
-        # Subclasses with real pruning override this.
+        """Default kNN: one infinite-radius range scan, sorted, cut at ``k``.
+
+        No radius shrinking happens here — the fallback evaluates every
+        candidate the range implementation visits at infinite radius.
+        Subclasses with real pruning (the tree indexes track the running
+        k-th distance level by level) override this.
+        """
         results = self._range_impl(query, float("inf"))
         results.sort()
         return results[:k]

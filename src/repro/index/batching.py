@@ -10,6 +10,18 @@ keeps the ``k`` smallest ``(distance, index)`` pairs lexicographically.
 Chunking bounds peak memory: a chunk never materializes more than about
 ``_TARGET_CHUNK_ELEMENTS`` matrix entries, so a million-point database
 queried with a hundred thousand queries still runs in bounded space.
+
+The tree indexes (BK, VP, GH, List of Clusters) have a different shape of
+batch work: a *sparse frontier* of surviving (query, vantage) pairs per
+traversal level rather than a dense block.  :func:`frontier_distances`
+evaluates such a frontier by grouping pairs on whichever side has fewer
+distinct members — one ``batch_distances`` call per group, so vectorized
+metric kernels fire while the evaluation count charged to
+:class:`~repro.metrics.base.CountingMetric` stays exactly one per pair,
+matching the scalar single-query traversal.  :class:`BatchKnnState`
+carries the per-query bounded heaps and pruning radii such a traversal
+maintains, with the same ``(-distance, -index)`` tie-breaking as
+:func:`scan_knn`.
 """
 
 from __future__ import annotations
@@ -25,13 +37,44 @@ from repro.metrics.base import Metric
 __all__ = [
     "query_chunks",
     "scan_knn",
+    "offer",
+    "heap_radius",
+    "heap_neighbors",
     "smallest_k_indices",
     "top_k_rows",
     "range_rows",
     "exhaustive_knn_batch",
     "exhaustive_range_batch",
     "take_points",
+    "frontier_distances",
+    "BatchKnnState",
+    "PRUNE_SAFETY",
 ]
+
+
+def offer(heap: List[tuple], k: int, distance: float, index: int) -> None:
+    """Offer one ``(distance, index)`` pair to a bounded max-heap.
+
+    The heap keeps the ``k`` lexicographically smallest pairs as
+    ``(-distance, -index)`` items, so ties break exactly as in the
+    ``sorted(Neighbor)`` order of the public API regardless of offer
+    order.
+    """
+    item = (-distance, -index)
+    if len(heap) < k:
+        heapq.heappush(heap, item)
+    elif item > heap[0]:
+        heapq.heapreplace(heap, item)
+
+
+def heap_radius(heap: List[tuple], k: int) -> float:
+    """Current pruning radius: the k-th best distance, or inf if unfilled."""
+    return -heap[0][0] if len(heap) == k else float("inf")
+
+
+def heap_neighbors(heap: List[tuple]) -> List[Neighbor]:
+    """Convert a bounded max-heap back into ``Neighbor`` objects."""
+    return [Neighbor(-nd, -ni) for nd, ni in heap]
 
 
 def scan_knn(
@@ -56,13 +99,15 @@ def scan_knn(
     else:
         candidates = ((int(i), points[int(i)]) for i in indices)
     for i, point in candidates:
-        d = metric.distance(query, point)
-        item = (-d, -i)
-        if len(heap) < k:
-            heapq.heappush(heap, item)
-        elif item > heap[0]:
-            heapq.heapreplace(heap, item)
-    return [Neighbor(-nd, -ni) for nd, ni in heap]
+        offer(heap, k, metric.distance(query, point), i)
+    return heap_neighbors(heap)
+
+#: Float-safety slack for tree prune bounds, as in AESA: build-time
+#: distances now come from vectorized kernels whose last-ulp rounding can
+#: differ from the scalar query-time formula, so comparisons against
+#: stored radii get ``PRUNE_SAFETY * (1 + bound)`` of slack.  Slack only
+#: ever admits extra candidates; results stay exact.
+PRUNE_SAFETY = 1e-9
 
 #: Upper bound on the number of distance-matrix entries materialized per
 #: chunk of queries (~32 MB of float64 at the default).
@@ -155,3 +200,106 @@ def exhaustive_range_batch(
         )
         results.extend(range_rows(block, radius))
     return results
+
+
+def _groups(keys: np.ndarray) -> Iterator[Tuple[np.ndarray, int]]:
+    """Yield ``(positions, key)`` for each distinct value of ``keys``."""
+    if keys.shape[0] == 0:
+        return
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    )
+    stops = np.r_[starts[1:], keys.shape[0]]
+    for start, stop in zip(starts, stops):
+        yield order[start:stop], int(sorted_keys[start])
+
+
+def frontier_distances(
+    metric: Metric,
+    queries: Sequence[Any],
+    points: Sequence[Any],
+    query_ids: np.ndarray,
+    point_ids: np.ndarray,
+) -> np.ndarray:
+    """Distances for a sparse frontier of ``(query, point)`` pairs.
+
+    ``query_ids[i]`` indexes ``queries`` and ``point_ids[i]`` indexes
+    ``points``; the result holds ``d(queries[query_ids[i]],
+    points[point_ids[i]])`` per pair.  Pairs are grouped on whichever
+    side repeats more (early tree levels share a handful of vantage
+    points across every query; deep fragmented levels share each query
+    across many nodes) and every group becomes one
+    :meth:`~repro.metrics.base.Metric.batch_distances` call, so the
+    evaluation count stays exactly the number of pairs — the accounting
+    of the scalar single-query traversal — while vectorized kernels do
+    the work.
+    """
+    query_ids = np.asarray(query_ids, dtype=np.int64)
+    point_ids = np.asarray(point_ids, dtype=np.int64)
+    out = np.empty(query_ids.shape[0], dtype=np.float64)
+    if out.shape[0] == 0:
+        return out
+    if np.unique(point_ids).shape[0] <= np.unique(query_ids).shape[0]:
+        for positions, point in _groups(point_ids):
+            block = metric.batch_distances(
+                take_points(queries, query_ids[positions]),
+                [points[point]],
+            )
+            out[positions] = block[:, 0]
+    else:
+        for positions, query in _groups(query_ids):
+            block = metric.batch_distances(
+                [queries[query]],
+                take_points(points, point_ids[positions]),
+            )
+            out[positions] = block[0]
+    return out
+
+
+class BatchKnnState:
+    """Per-query bounded heaps and pruning radii for batched kNN.
+
+    A level-synchronous tree traversal offers every frontier distance of
+    a level, then prunes the next level with the post-level radii.  The
+    heaps are the same ``(-distance, -index)`` bounded max-heaps as
+    :func:`scan_knn`, so final contents are independent of offer order
+    and tie-break identically to the single-query path.
+    """
+
+    def __init__(self, n_queries: int, k: int):
+        self.k = k
+        self.heaps: List[List[tuple]] = [[] for _ in range(n_queries)]
+        #: Per-query k-th best distance so far (inf while unfilled).
+        self.radii = np.full(n_queries, np.inf)
+
+    def offer_pairs(
+        self,
+        query_ids: np.ndarray,
+        db_ids: np.ndarray,
+        distances: np.ndarray,
+    ) -> None:
+        """Offer one ``(distance, database index)`` candidate per pair.
+
+        Pairs whose distance already exceeds a full heap's k-th best are
+        skipped wholesale (their offers would be no-ops); pairs tied with
+        the boundary still go through the heap so index tie-breaking
+        stays exact.
+        """
+        k = self.k
+        query_ids = np.asarray(query_ids, dtype=np.int64)
+        for positions, qi in _groups(query_ids):
+            heap = self.heaps[qi]
+            group_d = distances[positions]
+            if len(heap) == k:
+                positions = positions[group_d <= -heap[0][0]]
+                group_d = distances[positions]
+            group_i = db_ids[positions]
+            for d, i in zip(group_d, group_i):
+                offer(heap, k, float(d), int(i))
+            if len(heap) == k:
+                self.radii[qi] = -heap[0][0]
+
+    def results(self) -> List[List[Neighbor]]:
+        return [heap_neighbors(heap) for heap in self.heaps]

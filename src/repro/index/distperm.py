@@ -108,10 +108,18 @@ class DistPermIndex(Index):
         self.table, self.ids = np.unique(
             self.permutations, axis=0, return_inverse=True
         )
-        # Cached row-wise inverse of the stored permutations: batched
-        # footrule against any query set without re-inverting.  Stored in
-        # the narrow dtype footrule_matrix_batch computes in, so passing
-        # it never re-casts the whole table.
+        self._cache_perm_positions()
+
+    def _cache_perm_positions(self) -> None:
+        """Derive the cached row-wise inverse of ``self.permutations``.
+
+        The inverse feeds batched footrule against any query set without
+        re-inverting, stored in the narrow dtype
+        ``footrule_matrix_batch`` computes in so passing it never
+        re-casts the whole table.  Shared by :meth:`_build` and the
+        ``load_distperm`` loader, so a deserialized index can never lag
+        behind the build-time caches.
+        """
         positions = permutation_positions(self.permutations)
         if positions.shape[1] <= np.iinfo(np.int16).max:
             positions = positions.astype(np.int16)

@@ -7,17 +7,36 @@ covering ball, and — the structure's signature trick — the search *stops*
 if the query ball lies entirely inside the cluster ball, because
 construction order guarantees later elements are outside it.  Designed for
 the same high-dimensional regime the paper's databases live in.
+
+The cluster list lives in flat arrays (center ids, covering radii, and a
+CSR bucket table of element ids with their stored center distances); the
+build evaluates each greedy step as one batched distance row.  Queries
+proceed cluster-by-cluster — the structure's levels — offering each
+cluster's center to every still-active query in one grouped call, then
+evaluating the triangle-filtered (query, bucket element) pairs with
+:func:`~repro.index.batching.frontier_distances`.  Within a cluster the
+kNN pruning radius is fixed at its post-center value (the bucket filter
+is one vectorized comparison), so the batched and single-query paths are
+answer-for-answer and count-for-count identical.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.index.base import Index, Neighbor
+from repro.index.batching import (
+    PRUNE_SAFETY,
+    BatchKnnState,
+    frontier_distances,
+    heap_neighbors,
+    heap_radius,
+    offer,
+    take_points,
+)
 from repro.metrics.base import Metric
 
 __all__ = ["ListOfClusters"]
@@ -25,6 +44,8 @@ __all__ = ["ListOfClusters"]
 
 @dataclass
 class _Cluster:
+    """Read-only view of one cluster, materialized from the flat arrays."""
+
     center: int
     radius: float
     bucket: List[int]
@@ -49,84 +70,222 @@ class ListOfClusters(Index):
 
     def _build(self) -> None:
         remaining = list(range(len(self.points)))
-        self.clusters: List[_Cluster] = []
+        centers: List[int] = []
+        radii: List[float] = []
+        offsets: List[int] = [0]
+        bucket_items: List[int] = []
+        bucket_dists: List[float] = []
         while remaining:
             # Next center: the element farthest from the previous center
             # (first center random) — the heuristic of the original paper.
-            if not self.clusters:
+            if not centers:
                 pick = int(self._rng.integers(0, len(remaining)))
-                center = remaining.pop(pick)
             else:
-                previous = self.points[self.clusters[-1].center]
-                distances = [
-                    self.metric.distance(previous, self.points[i])
-                    for i in remaining
-                ]
-                pick = int(np.argmax(distances))
-                center = remaining.pop(pick)
+                row = self.metric.batch_distances(
+                    [self.points[centers[-1]]],
+                    take_points(
+                        self.points, np.asarray(remaining, dtype=np.int64)
+                    ),
+                )[0]
+                pick = int(np.argmax(row))
+            center = remaining.pop(pick)
+            centers.append(center)
             if not remaining:
-                self.clusters.append(_Cluster(center, 0.0, [], []))
+                radii.append(0.0)
+                offsets.append(len(bucket_items))
                 break
-            distances = np.array(
-                [
-                    self.metric.distance(self.points[center], self.points[i])
-                    for i in remaining
-                ]
-            )
+            distances = self.metric.batch_distances(
+                [self.points[center]],
+                take_points(self.points, np.asarray(remaining, dtype=np.int64)),
+            )[0]
             take = min(self.bucket_size, len(remaining))
             order = np.argsort(distances, kind="stable")[:take]
             bucket = [remaining[int(i)] for i in order]
-            bucket_distances = [float(distances[int(i)]) for i in order]
-            radius = bucket_distances[-1] if bucket_distances else 0.0
+            bucket_items.extend(bucket)
+            bucket_dists.extend(float(distances[int(i)]) for i in order)
+            radii.append(float(distances[int(order[-1])]))
+            offsets.append(len(bucket_items))
             chosen = set(bucket)
             remaining = [i for i in remaining if i not in chosen]
-            self.clusters.append(
-                _Cluster(center, radius, bucket, bucket_distances)
+        self._centers = np.asarray(centers, dtype=np.int64)
+        self._radii = np.asarray(radii, dtype=np.float64)
+        self._bucket_offsets = np.asarray(offsets, dtype=np.int64)
+        self._bucket_items = np.asarray(bucket_items, dtype=np.int64)
+        self._bucket_dists = np.asarray(bucket_dists, dtype=np.float64)
+
+    @property
+    def clusters(self) -> List[_Cluster]:
+        """The cluster sequence as materialized read-only views."""
+        views = []
+        for c in range(self._centers.shape[0]):
+            start = int(self._bucket_offsets[c])
+            stop = int(self._bucket_offsets[c + 1])
+            views.append(
+                _Cluster(
+                    int(self._centers[c]),
+                    float(self._radii[c]),
+                    [int(i) for i in self._bucket_items[start:stop]],
+                    [float(d) for d in self._bucket_dists[start:stop]],
+                )
             )
+        return views
+
+    def _bucket_slice(self, c: int) -> Tuple[np.ndarray, np.ndarray]:
+        start = int(self._bucket_offsets[c])
+        stop = int(self._bucket_offsets[c + 1])
+        return self._bucket_items[start:stop], self._bucket_dists[start:stop]
+
+    # ------------------------------------------------------------------
+    # Single-query scan: the same cluster-by-cluster algorithm the
+    # batched path vectorizes, with scalar metric calls.
+    # ------------------------------------------------------------------
 
     def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
         results: List[Neighbor] = []
-        for cluster in self.clusters:
-            d_center = self.metric.distance(query, self.points[cluster.center])
+        for c in range(self._centers.shape[0]):
+            d_center = self.metric.distance(
+                query, self.points[self._centers[c]]
+            )
             if d_center <= radius:
-                results.append(Neighbor(d_center, cluster.center))
+                results.append(Neighbor(d_center, int(self._centers[c])))
+            # Stored radii and bucket distances come from the vectorized
+            # build, so every bound carries PRUNE_SAFETY slack against
+            # ulp drift from the scalar query-time formula.
+            eps = PRUNE_SAFETY * (1.0 + radius)
             # Scan the bucket only if the query ball meets the cluster ball.
-            if d_center <= cluster.radius + radius:
-                for i, d_ci in zip(cluster.bucket, cluster.bucket_distances):
+            if d_center <= self._radii[c] + radius + eps:
+                items, dists = self._bucket_slice(c)
+                for i, d_ci in zip(items, dists):
                     # Cheap triangle filter from the stored center distance.
-                    if abs(d_center - d_ci) > radius:
+                    if abs(d_center - d_ci) > radius + eps:
                         continue
                     d = self.metric.distance(query, self.points[i])
                     if d <= radius:
-                        results.append(Neighbor(d, i))
+                        results.append(Neighbor(d, int(i)))
             # Containment cut: everything after this cluster lies outside
             # its ball; if the query ball is inside, nothing later matches.
-            if d_center + radius < cluster.radius:
+            if d_center + radius < self._radii[c] - eps:
                 break
         return results
 
     def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
         heap: List[tuple] = []
-
-        def offer(distance: float, index: int) -> None:
-            item = (-distance, -index)
-            if len(heap) < k:
-                heapq.heappush(heap, item)
-            elif item > heap[0]:
-                heapq.heapreplace(heap, item)
-
-        def current_radius() -> float:
-            return -heap[0][0] if len(heap) == k else float("inf")
-
-        for cluster in self.clusters:
-            d_center = self.metric.distance(query, self.points[cluster.center])
-            offer(d_center, cluster.center)
-            r = current_radius()
-            if d_center <= cluster.radius + r:
-                for i, d_ci in zip(cluster.bucket, cluster.bucket_distances):
-                    if abs(d_center - d_ci) > current_radius():
+        for c in range(self._centers.shape[0]):
+            d_center = self.metric.distance(
+                query, self.points[self._centers[c]]
+            )
+            offer(heap, k, d_center, int(self._centers[c]))
+            # The pruning radius is fixed for the whole bucket at its
+            # post-center value, so the filtered element set is one
+            # vectorized comparison in the batched path.
+            r = heap_radius(heap, k)
+            eps = PRUNE_SAFETY * (1.0 + r)
+            if d_center <= self._radii[c] + r + eps:
+                items, dists = self._bucket_slice(c)
+                for i, d_ci in zip(items, dists):
+                    if abs(d_center - d_ci) > r + eps:
                         continue
-                    offer(self.metric.distance(query, self.points[i]), i)
-            if d_center + current_radius() < cluster.radius:
+                    offer(
+                        heap, k,
+                        self.metric.distance(query, self.points[i]),
+                        int(i),
+                    )
+            r = heap_radius(heap, k)
+            if d_center + r < self._radii[c] - PRUNE_SAFETY * (1.0 + r):
                 break
-        return [Neighbor(-nd, -ni) for nd, ni in heap]
+        return heap_neighbors(heap)
+
+    # ------------------------------------------------------------------
+    # Batched scan.
+    # ------------------------------------------------------------------
+
+    def _center_distances(
+        self, queries: Sequence[Any], active: np.ndarray, c: int
+    ) -> np.ndarray:
+        return self.metric.batch_distances(
+            take_points(queries, active), [self.points[self._centers[c]]]
+        )[:, 0]
+
+    def _bucket_pairs(
+        self,
+        active: np.ndarray,
+        d_center: np.ndarray,
+        bounds: np.ndarray,
+        c: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Triangle-filtered (query, bucket element) pairs of one cluster."""
+        items, dists = self._bucket_slice(c)
+        eps = PRUNE_SAFETY * (1.0 + bounds)
+        scanning = np.flatnonzero(d_center <= self._radii[c] + bounds + eps)
+        if scanning.size == 0 or items.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        keep = (
+            np.abs(d_center[scanning, None] - dists[None, :])
+            <= (bounds + eps)[scanning, None]
+        )
+        rows, cols = np.nonzero(keep)
+        return active[scanning[rows]], items[cols]
+
+    def _range_batch_impl(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[List[Neighbor]]:
+        n_queries = len(queries)
+        results: List[List[Neighbor]] = [[] for _ in range(n_queries)]
+        active = np.arange(n_queries, dtype=np.int64)
+        for c in range(self._centers.shape[0]):
+            if active.size == 0:
+                break
+            d_center = self._center_distances(queries, active, c)
+            for j in np.flatnonzero(d_center <= radius):
+                results[int(active[j])].append(
+                    Neighbor(float(d_center[j]), int(self._centers[c]))
+                )
+            pair_queries, pair_items = self._bucket_pairs(
+                active, d_center, np.full(active.shape[0], radius), c
+            )
+            if pair_queries.size:
+                pair_d = frontier_distances(
+                    self.metric, queries, self.points, pair_queries, pair_items
+                )
+                for j in np.flatnonzero(pair_d <= radius):
+                    results[int(pair_queries[j])].append(
+                        Neighbor(float(pair_d[j]), int(pair_items[j]))
+                    )
+            eps = PRUNE_SAFETY * (1.0 + radius)
+            active = active[~(d_center + radius < self._radii[c] - eps)]
+        return results
+
+    def _knn_batch_impl(
+        self, queries: Sequence[Any], k: int
+    ) -> List[List[Neighbor]]:
+        n_queries = len(queries)
+        state = BatchKnnState(n_queries, k)
+        active = np.arange(n_queries, dtype=np.int64)
+        for c in range(self._centers.shape[0]):
+            if active.size == 0:
+                break
+            d_center = self._center_distances(queries, active, c)
+            state.offer_pairs(
+                active,
+                np.full(active.shape[0], self._centers[c], dtype=np.int64),
+                d_center,
+            )
+            pair_queries, pair_items = self._bucket_pairs(
+                active, d_center, state.radii[active], c
+            )
+            if pair_queries.size:
+                pair_d = frontier_distances(
+                    self.metric, queries, self.points, pair_queries, pair_items
+                )
+                state.offer_pairs(pair_queries, pair_items, pair_d)
+            bounds = state.radii[active]
+            eps = PRUNE_SAFETY * (1.0 + bounds)
+            active = active[~(d_center + bounds < self._radii[c] - eps)]
+        return state.results()
+
+    def _knn_approx_batch_impl(
+        self, queries: Sequence[Any], k: int, budget: Optional[int]
+    ) -> List[List[Neighbor]]:
+        # Exact search; the budget is ignored, as in the single-query path.
+        return self._knn_batch_impl(queries, k)

@@ -72,6 +72,11 @@ def load_distperm(
     index.points = points
     index.metric = CountingMetric(metric)
     index.stats = SearchStats()
+    # Constructor state __init__ would have set: a loaded index mirrors a
+    # construction with explicit site indices.
+    index._requested_sites = len(site_indices)
+    index._site_strategy = "random"
+    index._rng = None
     index._site_indices = site_indices
     index.site_indices = list(site_indices)
     index.sites = [points[i] for i in site_indices]
@@ -81,6 +86,9 @@ def load_distperm(
     index.table = table
     index.ids = ids
     index.permutations = table[ids]
+    # Rebuild the derived caches of _build (the batched knn_approx path
+    # reads _perm_positions; loading must leave no attribute behind).
+    index._cache_perm_positions()
     # Consistency check: the first site's own permutation must rank that
     # site at distance zero, i.e. begin with the lowest-index zero-distance
     # site — cheap evidence the database matches the payload.

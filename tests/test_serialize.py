@@ -64,6 +64,80 @@ class TestRoundTrip:
         assert loaded.unique_permutations() == index.unique_permutations()
 
 
+class TestBatchedRoundTrip:
+    """A loaded index must answer the *batched* API identically to the
+    index it was saved from — the loader has to rebuild every derived
+    cache ``_build`` creates, not just the payload arrays."""
+
+    def _signatures(self, batches):
+        return [
+            [(n.index, round(n.distance, 9)) for n in batch]
+            for batch in batches
+        ]
+
+    def test_knn_approx_batch_after_load(self, tmp_path, built, rng):
+        """Regression: load_distperm used to skip ``_perm_positions``, so
+        ``knn_approx_batch`` on any deserialized index crashed with
+        AttributeError inside the footrule path."""
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        queries = rng.random((6, 3))
+        fresh = index.knn_approx_batch(queries, 5, budget=60)
+        reloaded = loaded.knn_approx_batch(queries, 5, budget=60)
+        assert self._signatures(reloaded) == self._signatures(fresh)
+
+    def test_full_batched_api_roundtrip(self, tmp_path, built, rng):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        queries = rng.random((5, 3))
+        assert self._signatures(
+            loaded.range_batch(queries, 0.4)
+        ) == self._signatures(index.range_batch(queries, 0.4))
+        assert self._signatures(
+            loaded.knn_batch(queries, 7)
+        ) == self._signatures(index.knn_batch(queries, 7))
+        assert self._signatures(
+            loaded.knn_approx_batch(queries, 7, budget=100)
+        ) == self._signatures(index.knn_approx_batch(queries, 7, budget=100))
+
+    def test_string_database_batched_roundtrip(self, tmp_path):
+        database = load_database("English", n=250)
+        index = DistPermIndex(
+            database.points, database.metric, n_sites=5,
+            rng=np.random.default_rng(3),
+        )
+        path = tmp_path / "dict.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, database.points, database.metric)
+        queries = [database.points[10], "hello", "zz"]
+        assert self._signatures(
+            loaded.knn_approx_batch(queries, 6, budget=40)
+        ) == self._signatures(index.knn_approx_batch(queries, 6, budget=40))
+        assert self._signatures(
+            loaded.range_batch(queries, 2)
+        ) == self._signatures(index.range_batch(queries, 2))
+
+    def test_loaded_index_carries_build_attributes(self, tmp_path, built):
+        """Every attribute ``__init__``/``_build`` sets must exist on a
+        loaded index, so serialization can never again lag behind
+        attributes added at build time."""
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        np.testing.assert_array_equal(
+            loaded._perm_positions, index._perm_positions
+        )
+        assert loaded._perm_positions.dtype == index._perm_positions.dtype
+        assert loaded._requested_sites == index.n_sites
+        assert hasattr(loaded, "_site_strategy")
+        assert hasattr(loaded, "_rng")
+
+
 class TestValidation:
     def test_wrong_database_size_rejected(self, tmp_path, built):
         points, index = built
