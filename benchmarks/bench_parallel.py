@@ -1,0 +1,298 @@
+"""Bench: the sharded multi-core execution layer.
+
+Measures the three parallel surfaces of :mod:`repro.parallel` on the
+paper's headline dictionary-Levenshtein workload (and an 8-d Euclidean
+control): sharded index *builds*, batched fan-out/merge *queries*
+(exact kNN through a VP-tree and budgeted kNN through the permutation
+index), and the mergeable permutation *census* of Tables 2–3 — each
+serial versus a 4-worker process pool over the same shard layout, with
+an answer-equality check against the unsharded index on every run.
+
+Results go to ``BENCH_parallel.json`` with the machine's CPU count
+recorded alongside: process-pool speedup tracks physical cores, so the
+committed numbers only claim what the committing machine could show
+(a single-core container records ~1x; the ≥2x acceptance floor below is
+asserted only when at least 4 CPUs are available).
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py            # full
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke    # CI sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from functools import partial
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets.dictionaries import synthetic_dictionary  # noqa: E402
+from repro.datasets.vectors import uniform_vectors  # noqa: E402
+from repro.index import (  # noqa: E402
+    DistPermIndex,
+    LinearScan,
+    ShardedIndex,
+    VPTree,
+)
+from repro.metrics import EuclideanDistance, LevenshteinDistance  # noqa: E402
+from repro.parallel import get_executor, sharded_census  # noqa: E402
+
+#: Acceptance floor on build and batch-query speedup at WORKERS workers,
+#: asserted in full mode when the machine has at least WORKERS CPUs.
+REQUIRED_SPEEDUP = 2.0
+WORKERS = 4
+SHARDS = 4
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _vptree_shard(points, metric):
+    """Deterministic per-shard VP-tree (identical serial and pooled)."""
+    return VPTree(points, metric, rng=np.random.default_rng(20080415))
+
+
+def _signature(rows):
+    return [[(n.index, round(n.distance, 9)) for n in row] for row in rows]
+
+
+def _bench_sharded(
+    name, points, metric, queries, inner_factory, k, workers,
+    budget=None, reference=None,
+):
+    """Build + query one sharded configuration, serially and pooled.
+
+    Returns the measurement dict; ``reference`` (unsharded answers, by
+    rounded signature) is checked against both runs so a speedup can
+    never come from a wrong answer.
+    """
+    op = "knn" if budget is None else "knn-approx"
+    timings = {}
+    for label, worker_count in (("serial", None), ("parallel", workers)):
+        index, build_s = _timed(
+            lambda: ShardedIndex(
+                points, metric, inner_factory,
+                n_shards=SHARDS, workers=worker_count,
+            )
+        )
+        with index:
+            if op == "knn":
+                results, query_s = _timed(
+                    lambda: index.knn_batch(queries, k)
+                )
+            else:
+                results, query_s = _timed(
+                    lambda: index.knn_approx_batch(queries, k, budget=budget)
+                )
+            if reference is not None and _signature(results) != reference:
+                raise AssertionError(
+                    f"{name}/{label}: sharded answers diverge from the "
+                    "unsharded index"
+                )
+        timings[label] = (build_s, query_s)
+    build_serial, query_serial = timings["serial"]
+    build_parallel, query_parallel = timings["parallel"]
+    return {
+        "config": name,
+        "mode": op,
+        "k": k,
+        "budget": budget,
+        "n_queries": len(queries),
+        "build_serial_s": round(build_serial, 4),
+        "build_parallel_s": round(build_parallel, 4),
+        "build_speedup": round(build_serial / build_parallel, 2),
+        "query_serial_qps": round(len(queries) / query_serial, 1),
+        "query_parallel_qps": round(len(queries) / query_parallel, 1),
+        "query_speedup": round(query_serial / query_parallel, 2),
+    }
+
+
+def _bench_census(points, metric, sites, workers):
+    """The mergeable census, serial versus pooled, counts checked equal."""
+    (serial, _), serial_s = _timed(
+        lambda: sharded_census(points, sites, metric)
+    )
+    (parallel, _), parallel_s = _timed(
+        lambda: sharded_census(
+            points, sites, metric, workers=workers, shards=SHARDS
+        )
+    )
+    k = len(sites)
+    if serial[k].distinct != parallel[k].distinct:
+        raise AssertionError("parallel census diverges from serial")
+    return {
+        "k": k,
+        "distinct": serial[k].distinct,
+        "census_serial_s": round(serial_s, 4),
+        "census_parallel_s": round(parallel_s, 4),
+        "census_speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+def run_dictionary_workload(n, n_queries, workers, rng):
+    """The acceptance workload: synthetic English words, Levenshtein."""
+    words = synthetic_dictionary("English", n, rng=rng)
+    picks = rng.choice(n, size=n_queries, replace=False)
+    queries = [words[int(i)] for i in picks]
+    metric = LevenshteinDistance()
+
+    baseline = LinearScan(words, metric)
+    knn_ref = _signature(baseline.knn_batch(queries, 10))
+
+    configs = [
+        _bench_sharded(
+            "vptree-knn", words, metric, queries, _vptree_shard, 10,
+            workers, reference=knn_ref,
+        ),
+        _bench_sharded(
+            "distperm-knn-approx", words, metric, queries,
+            partial(DistPermIndex, n_sites=12, site_strategy="first"),
+            10, workers, budget=500,
+        ),
+    ]
+    sites = [words[int(i)] for i in rng.choice(n, size=12, replace=False)]
+    return {
+        "dataset": "dictionary-en",
+        "metric": "levenshtein",
+        "n": n,
+        "shards": SHARDS,
+        "workers": workers,
+        "configs": configs,
+        "census": _bench_census(words, metric, sites, workers),
+    }
+
+
+def run_vector_workload(n, n_queries, workers, rng):
+    """8-d Euclidean control: cheap metric, shipping-overhead bound."""
+    points = uniform_vectors(n, 8, rng)
+    queries = points[rng.choice(n, size=n_queries, replace=False)]
+    metric = EuclideanDistance()
+
+    baseline = LinearScan(points, metric)
+    knn_ref = _signature(baseline.knn_batch(queries, 10))
+
+    configs = [
+        _bench_sharded(
+            "vptree-knn", points, metric, queries, _vptree_shard, 10,
+            workers, reference=knn_ref,
+        ),
+    ]
+    sites = points[rng.choice(n, size=8, replace=False)]
+    return {
+        "dataset": "uniform-8d",
+        "metric": "l2",
+        "n": n,
+        "shards": SHARDS,
+        "workers": workers,
+        "configs": configs,
+        "census": _bench_census(points, metric, sites, workers),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Sharded multi-core execution layer benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: exercises parallel builds, fan-out "
+        "queries, and census merging end to end, skips the speedup "
+        "assertion, writes no JSON unless --output is given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"result JSON path (default: {REPO_ROOT / 'BENCH_parallel.json'})",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(20080415)
+    workers = 2 if args.smoke else WORKERS
+    # Warm the pool machinery once so per-workload timings measure work,
+    # not the fork server's first start.
+    with get_executor(workers) as executor:
+        executor.map(len, [((),)])
+    if args.smoke:
+        workloads = [
+            run_dictionary_workload(400, 40, workers, rng),
+            run_vector_workload(2_000, 100, workers, rng),
+        ]
+    else:
+        workloads = [
+            run_dictionary_workload(10_000, 500, workers, rng),
+            run_vector_workload(50_000, 1_000, workers, rng),
+        ]
+
+    report = {
+        "bench": "bench_parallel",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "workloads": workloads,
+    }
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_parallel.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    for workload in workloads:
+        for config in workload["configs"]:
+            print(
+                f"{workload['dataset']}/{config['config']}: "
+                f"build {config['build_speedup']}x, "
+                f"query {config['query_speedup']}x "
+                f"({config['query_serial_qps']} -> "
+                f"{config['query_parallel_qps']} q/s)"
+            )
+        census = workload["census"]
+        print(
+            f"{workload['dataset']}/census: {census['census_speedup']}x "
+            f"({census['distinct']} distinct)"
+        )
+
+    if not args.smoke:
+        cpus = os.cpu_count() or 1
+        dictionary = workloads[0]["configs"][0]
+        achieved = min(
+            dictionary["build_speedup"], dictionary["query_speedup"]
+        )
+        if cpus >= WORKERS:
+            if achieved < REQUIRED_SPEEDUP:
+                print(
+                    f"FAIL: dictionary build+query speedup {achieved}x at "
+                    f"{WORKERS} workers is below {REQUIRED_SPEEDUP}x "
+                    f"on a {cpus}-CPU machine"
+                )
+                return 1
+            print(
+                f"OK: dictionary build+query speedup {achieved}x >= "
+                f"{REQUIRED_SPEEDUP}x at {WORKERS} workers"
+            )
+        else:
+            print(
+                f"NOTE: {cpus} CPU(s) available; the {REQUIRED_SPEEDUP}x "
+                f"floor at {WORKERS} workers needs >= {WORKERS} CPUs and "
+                "is not asserted here (speedups recorded as measured)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,7 @@ from repro.core import (
     tree_permutation_bound,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "cake_number",

@@ -16,6 +16,8 @@ Examples::
         --metric levenshtein --sites 8 --dump perms.txt
     python -m repro search --input vectors.txt --kind vectors --metric l2 \\
         --index distperm --mode knn-approx --k 10 --budget 200
+    python -m repro search --input words.txt --kind strings \\
+        --metric levenshtein --index vptree --shards 4 --workers 4
     python -m repro counterexample --points 1000000
     python -m repro figures
 
@@ -24,6 +26,11 @@ goes through ``knn_batch`` / ``range_batch`` / ``knn_approx_batch`` in
 one call and the report shows queries per second alongside the
 literature's distance-evaluations-per-query cost (``--no-batch`` loops
 the single-query API instead, for comparison).
+
+The census and search subcommands (and the table generators) take the
+library-wide ``--shards`` / ``--workers`` flags: the database splits
+into shards served by a process pool (:mod:`repro.parallel`), with
+answers and censuses identical to the serial run for every setting.
 """
 
 from __future__ import annotations
@@ -52,6 +59,15 @@ _METRICS = {
 _INDEXES = ("aesa", "distperm", "iaesa", "laesa", "linear", "vptree")
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """The library-wide multi-core flags (see :mod:`repro.parallel`)."""
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: serial; results "
+                             "are identical for every worker count)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="database shards (default: worker count)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--n", type=int, default=0,
                         help="override database size (default: fast preset)")
     table2.add_argument("--seed", type=int, default=20080411)
+    _add_parallel_flags(table2)
 
     table3 = commands.add_parser(
         "table3", help="census of uniform random vectors (Table 3)"
@@ -78,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--ks", type=int, nargs="*", default=(4, 8, 12))
     table3.add_argument("--n", type=int, default=None)
     table3.add_argument("--runs", type=int, default=None)
+    table3.add_argument("--seed", type=int, default=20080411,
+                        help="site-draw / database seed (default 20080411)")
+    _add_parallel_flags(table3)
 
     census = commands.add_parser(
         "census",
@@ -93,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--seed", type=int, default=0)
     census.add_argument("--dump", default=None,
                         help="write per-element permutations (ASCII) here")
+    _add_parallel_flags(census)
 
     search = commands.add_parser(
         "search",
@@ -128,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "batch engine (baseline comparison)")
     search.add_argument("--show", type=int, default=0,
                         help="print the results of the first N queries")
+    _add_parallel_flags(search)
 
     counter = commands.add_parser(
         "counterexample", help="re-run the Eq. 12 census (Section 5)"
@@ -148,6 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parallel_flags_error(args: argparse.Namespace) -> Optional[str]:
+    """Validate --workers/--shards; returns an error message or None."""
+    if args.workers is not None and args.workers < 0:
+        return "--workers must be >= 0"
+    if args.shards is not None and args.shards < 1:
+        return "--shards must be >= 1"
+    return None
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import format_table1
 
@@ -159,7 +190,12 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments.table2 import format_table2, table2_rows
 
-    rows = table2_rows(names=args.names, n=args.n, seed=args.seed)
+    error = _parallel_flags_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    rows = table2_rows(names=args.names, n=args.n, seed=args.seed,
+                       workers=args.workers, shards=args.shards)
     print(format_table2(rows))
     return 0
 
@@ -167,9 +203,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments.table3 import format_table3, table3_rows
 
+    error = _parallel_flags_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     dims = args.dims if args.dims else range(1, 11)
     rows = table3_rows(dims=dims, ks=tuple(args.ks), n_points=args.n,
-                       n_runs=args.runs)
+                       n_runs=args.runs, seed=args.seed,
+                       workers=args.workers, shards=args.shards)
     print(format_table3(rows, ks=tuple(args.ks)))
     return 0
 
@@ -185,6 +226,10 @@ def _cmd_census(args: argparse.Namespace) -> int:
     if len(points) == 0:
         print("error: empty database", file=sys.stderr)
         return 1
+    error = _parallel_flags_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if args.sites < 1 or args.sites > len(points):
         print(
             f"error: need 1 <= sites <= {len(points)}, got {args.sites}",
@@ -192,19 +237,46 @@ def _cmd_census(args: argparse.Namespace) -> int:
         )
         return 1
     metric = _METRICS[args.metric]()
-    index = DistPermIndex(
-        points,
-        metric,
-        n_sites=args.sites,
-        rng=np.random.default_rng(args.seed),
-    )
-    if args.dump:
-        save_permutations(args.dump, index.permutations)
-    report = index.storage()
+    if args.workers is not None or args.shards is not None:
+        # Parallel census: same site draw as the DistPermIndex build, but
+        # the n x k distance work shards across a process pool and the
+        # partial censuses merge exactly.
+        from repro.core.storage import storage_report
+        from repro.index.pivots import select_pivots
+        from repro.parallel.census import sharded_census
+
+        site_indices = select_pivots(
+            points, metric, args.sites, strategy="random",
+            rng=np.random.default_rng(args.seed),
+        )
+        sites = [points[i] for i in site_indices]
+        censuses, permutations = sharded_census(
+            points, sites, metric,
+            workers=args.workers, shards=args.shards,
+            collect_permutations=bool(args.dump),
+        )
+        distinct = censuses[args.sites].distinct
+        if args.dump:
+            save_permutations(args.dump, permutations)
+        report = storage_report(
+            n=len(points), k=args.sites, realized_permutations=distinct
+        )
+    else:
+        index = DistPermIndex(
+            points,
+            metric,
+            n_sites=args.sites,
+            rng=np.random.default_rng(args.seed),
+        )
+        site_indices = index.site_indices
+        distinct = index.unique_permutations()
+        if args.dump:
+            save_permutations(args.dump, index.permutations)
+        report = index.storage()
     print(f"database: {args.input} ({len(points)} elements, "
           f"metric {metric.name})")
-    print(f"sites (k={args.sites}): indices {index.site_indices}")
-    print(f"unique distance permutations: {index.unique_permutations()} "
+    print(f"sites (k={args.sites}): indices {site_indices}")
+    print(f"unique distance permutations: {distinct} "
           f"(of k! = {math.factorial(args.sites)})")
     print(f"bits/element: table={report.bits_permutation_table} "
           f"naive={report.bits_naive_permutation} "
@@ -215,7 +287,15 @@ def _cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_search_index(name: str, points, metric, args: argparse.Namespace):
+def _sharded_inner(points, metric, name: str = "linear", sites: int = 8,
+                   pivots: int = 8, seed: int = 0):
+    """The one index factory behind ``repro search``, sharded or not.
+
+    For ``--shards`` it is bound with :func:`functools.partial` and
+    shipped to pool workers, so it must stay a module-level function; a
+    fresh seeded generator per call keeps serial and pool builds
+    identical.
+    """
     from repro.index import (
         AESA,
         DistPermIndex,
@@ -225,7 +305,7 @@ def _build_search_index(name: str, points, metric, args: argparse.Namespace):
         VPTree,
     )
 
-    rng = np.random.default_rng(args.seed)
+    rng = np.random.default_rng(seed)
     if name == "linear":
         return LinearScan(points, metric)
     if name == "aesa":
@@ -236,13 +316,18 @@ def _build_search_index(name: str, points, metric, args: argparse.Namespace):
         return VPTree(points, metric, rng=rng)
     if name == "laesa":
         return PivotIndex(
-            points, metric, n_pivots=min(args.pivots, len(points)), rng=rng
+            points, metric, n_pivots=min(pivots, len(points)), rng=rng
         )
     if name == "distperm":
         return DistPermIndex(
-            points, metric, n_sites=min(args.sites, len(points)), rng=rng
+            points, metric, n_sites=min(sites, len(points)), rng=rng
         )
     raise ValueError(f"no factory for index {name!r} (update _INDEXES?)")
+
+
+def _build_search_index(name: str, points, metric, args: argparse.Namespace):
+    return _sharded_inner(points, metric, name, sites=args.sites,
+                          pivots=args.pivots, seed=args.seed)
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -291,34 +376,68 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.index == "laesa" and args.pivots < 1:
         print("error: --pivots must be >= 1", file=sys.stderr)
         return 1
+    error = _parallel_flags_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     metric = _METRICS[args.metric]()
-    index = _build_search_index(args.index, points, metric, args)
+    sharded = args.workers is not None or args.shards is not None
+    if sharded:
+        from functools import partial
+
+        from repro.index import ShardedIndex
+
+        n_shards = (
+            args.shards
+            if args.shards is not None
+            else max(1, args.workers or 1)
+        )
+        index = ShardedIndex(
+            points,
+            metric,
+            partial(_sharded_inner, name=args.index, sites=args.sites,
+                    pivots=args.pivots, seed=args.seed),
+            n_shards=n_shards,
+            workers=args.workers,
+        )
+    else:
+        index = _build_search_index(args.index, points, metric, args)
     if args.mode == "knn-approx" and args.budget is not None:
         from repro.index.base import Index
 
-        if type(index)._knn_approx_impl is Index._knn_approx_impl:
+        probe = index.shards[0] if sharded else index
+        if type(probe)._knn_approx_impl is Index._knn_approx_impl:
             print(f"note: index {args.index!r} has no budgeted mode; "
                   "--budget is ignored and the search is exact",
                   file=sys.stderr)
-    report = run_query_workload(
-        index,
-        queries,
-        kind=args.mode,
-        k=args.k,
-        radius=args.radius,
-        budget=args.budget,
-        batched=not args.no_batch,
-    )
+    try:
+        report = run_query_workload(
+            index,
+            queries,
+            kind=args.mode,
+            k=args.k,
+            radius=args.radius,
+            budget=args.budget,
+            batched=not args.no_batch,
+        )
+    finally:
+        if sharded:
+            index.close()
     detail = {
         "knn": f"k={min(args.k, len(points))}",
         "range": f"radius={args.radius}",
         "knn-approx": f"k={min(args.k, len(points))} budget={args.budget}",
     }[args.mode]
     surface = "looped single-query" if args.no_batch else "batched"
+    layout = (
+        f", {index.n_shards} shards x {args.workers or 'serial'} workers"
+        if sharded
+        else ""
+    )
     print(f"database: {args.input} ({len(points)} elements, "
           f"metric {metric.name})")
     print(f"index: {args.index} "
-          f"(build distances: {index.stats.build_distances})")
+          f"(build distances: {index.stats.build_distances}{layout})")
     print(f"workload: {args.mode} {detail}, "
           f"{report.n_queries} queries ({surface})")
     print(f"queries/sec: {report.queries_per_second:.1f}")

@@ -16,7 +16,7 @@ databases that do not fit in memory two standard tools apply:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -74,6 +74,33 @@ class StreamingCensus:
         """Convenience: compute and fold a batch of database points."""
         distances = metric.to_sites(points, sites)
         self.update(permutations_from_distances(distances))
+
+    def merge(self, other: "StreamingCensus") -> "StreamingCensus":
+        """Fold another census into this one, in place; returns ``self``.
+
+        Censuses are exactly mergeable: each is a multiset of permutation
+        keys, so merging sums occurrence counts key by key.  A census of a
+        whole database equals the merge of censuses over any partition of
+        it — the property the sharded census driver relies on.  Keys are
+        raw ``int64`` row bytes, so merging is only meaningful between
+        censuses built on the same machine architecture (the parallel
+        driver's workers always are).
+        """
+        if other is self:
+            raise ValueError("cannot merge a census into itself")
+        counts = self._counts
+        for key, count in other._counts.items():
+            counts[key] = counts.get(key, 0) + count
+        self._total += other._total
+        return self
+
+    @classmethod
+    def merged(cls, censuses: Iterable["StreamingCensus"]) -> "StreamingCensus":
+        """Merge any number of partial censuses into a fresh one."""
+        out = cls()
+        for census in censuses:
+            out.merge(census)
+        return out
 
     @property
     def distinct(self) -> int:

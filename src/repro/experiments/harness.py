@@ -6,22 +6,30 @@ set is pushed through an index's *batched* API (or, for baseline
 comparisons, the looped single-query API) and both cost measures are
 reported — distance evaluations per query, the literature's metric, and
 queries per second, the production measure the batch engine optimizes.
+
+Every entry point takes the library-wide ``workers=`` / ``shards=``
+parameters (:mod:`repro.parallel`): censuses shard the database and merge
+exact partial counts; the workload runner can wrap any index in a
+:class:`~repro.index.sharded.ShardedIndex` for fan-out/merge execution.
+Results are identical for every ``workers`` / ``shards`` combination.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.permutation import (
-    count_distinct_permutations,
-    permutations_from_distances,
-)
 from repro.index.base import Index, Neighbor
+from repro.index.sharded import ShardedIndex, shard_index
 from repro.metrics.base import Metric
+from repro.parallel.census import sharded_census
+from repro.parallel.executor import get_executor
+from repro.parallel.sharedmem import SharedDataset
 
 __all__ = [
     "unique_permutation_count",
@@ -34,11 +42,23 @@ __all__ = [
 
 
 def unique_permutation_count(
-    points: Sequence[Any], sites: Sequence[Any], metric: Metric
+    points: Sequence[Any],
+    sites: Sequence[Any],
+    metric: Metric,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> int:
-    """Count distinct distance permutations of ``points`` w.r.t. ``sites``."""
-    distances = metric.to_sites(points, sites)
-    return count_distinct_permutations(permutations_from_distances(distances))
+    """Count distinct distance permutations of ``points`` w.r.t. ``sites``.
+
+    The census shards over the database rows and merges exact partial
+    counts (:func:`repro.parallel.census.sharded_census`); the result is
+    identical for every ``workers`` / ``shards`` setting.
+    """
+    censuses, _ = sharded_census(
+        points, sites, metric, workers=workers, shards=shards
+    )
+    return censuses[len(sites)].distinct
 
 
 @dataclass(frozen=True)
@@ -66,22 +86,61 @@ def permutation_count_trials(
     k: int,
     n_trials: int = 10,
     rng: Optional[np.random.Generator] = None,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    executor=None,
+    dataset: Optional[SharedDataset] = None,
 ) -> TrialResult:
     """Repeat the permutation census with fresh random site draws.
 
     Sites are drawn uniformly without replacement from the database, as in
     the SISAP pivots code the paper's ``distperm`` index modifies.  Returns
     the per-trial counts (Table 3 reports their mean and max).
+
+    With ``workers`` the trial censuses run on a process pool: every
+    trial's site draw happens up front (so draws match the serial order
+    exactly), the database is published to shared memory once, and each
+    trial's census shards over the rows and merges.  Counts are identical
+    for every ``workers`` / ``shards`` setting.  Callers looping many
+    cells over one pool (Table 3) pass ``executor=`` (and optionally a
+    pre-published ``dataset=``) to amortize pool startup and dataset
+    publication; both stay owned by the caller.
     """
     n = len(points)
     if not 2 <= k <= n:
         raise ValueError(f"need 2 <= k <= {n}, got k={k}")
     rng = rng if rng is not None else np.random.default_rng()
+    trial_sites = [
+        [points[int(i)] for i in rng.choice(n, size=k, replace=False)]
+        for _ in range(n_trials)
+    ]
     counts = []
-    for _ in range(n_trials):
-        site_indices = rng.choice(n, size=k, replace=False)
-        sites = [points[int(i)] for i in site_indices]
-        counts.append(unique_permutation_count(points, sites, metric))
+    own_executor = executor is None
+    executor = executor if executor is not None else get_executor(workers)
+    own_dataset = dataset is None
+    if dataset is None:
+        dataset = (
+            SharedDataset.publish(points)
+            if executor.workers
+            else SharedDataset.local(points)
+        )
+    try:
+        for sites in trial_sites:
+            censuses, _ = sharded_census(
+                points,
+                sites,
+                metric,
+                executor=executor,
+                shards=shards,
+                dataset=dataset,
+            )
+            counts.append(censuses[k].distinct)
+    finally:
+        if own_dataset:
+            dataset.unlink()
+        if own_executor:
+            executor.close()
     return TrialResult(tuple(counts))
 
 
@@ -124,6 +183,9 @@ def run_query_workload(
     radius: float = 1.0,
     budget: Optional[int] = None,
     batched: bool = True,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    inner_factory: Optional[Callable[[Sequence[Any], Metric], Index]] = None,
 ) -> QueryWorkloadReport:
     """Drive a query set through an index and report both cost measures.
 
@@ -133,9 +195,71 @@ def run_query_workload(
     single-query API is looped — the baseline the batch engine is
     benchmarked against.  The index's query stats are reset first so the
     report reflects exactly this workload.
+
+    ``shards`` / ``workers`` run the workload through the sharded
+    execution layer: unless ``index`` already is a
+    :class:`~repro.index.sharded.ShardedIndex`, it is wrapped via
+    :func:`~repro.index.sharded.shard_index` (rebuilding per-shard inner
+    indexes of the same type, or of ``inner_factory``; the rebuild cost
+    is not part of the report).  Exact answers are identical either way;
+    the wrapper's pool and shared memory are released before returning.
     """
     if kind not in ("knn", "range", "knn-approx"):
         raise ValueError(f"unknown workload kind {kind!r}")
+    wrapped: Optional[ShardedIndex] = None
+    if (shards is not None or workers is not None) and not isinstance(
+        index, ShardedIndex
+    ):
+        if inner_factory is None:
+            # type(index)(points, metric) drops any constructor
+            # configuration (site counts, pivot counts, seeds) the passed
+            # index was built with — loud is better than silently
+            # measuring a differently-configured index.
+            extra = [
+                parameter.name
+                for parameter in list(
+                    inspect.signature(type(index).__init__).parameters.values()
+                )[3:]
+                if parameter.kind
+                not in (
+                    inspect.Parameter.VAR_POSITIONAL,
+                    inspect.Parameter.VAR_KEYWORD,
+                )
+            ]
+            if extra:
+                warnings.warn(
+                    f"run_query_workload rebuilds {type(index).__name__} "
+                    f"shards with default {', '.join(extra)}; pass "
+                    "inner_factory= to preserve the index configuration",
+                    stacklevel=2,
+                )
+        wrapped = shard_index(
+            index,
+            n_shards=shards if shards is not None else max(1, workers or 1),
+            workers=workers,
+            inner_factory=inner_factory,
+        )
+        index = wrapped
+    try:
+        return _run_workload(
+            index, queries, kind=kind, k=k, radius=radius,
+            budget=budget, batched=batched,
+        )
+    finally:
+        if wrapped is not None:
+            wrapped.close()
+
+
+def _run_workload(
+    index: Index,
+    queries: Sequence[Any],
+    *,
+    kind: str,
+    k: int,
+    radius: float,
+    budget: Optional[int],
+    batched: bool,
+) -> QueryWorkloadReport:
     index.reset_stats()
     start = time.perf_counter()
     if batched:

@@ -15,12 +15,10 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.dimension import estimate_rho
-from repro.core.permutation import (
-    count_distinct_permutations,
-    permutations_from_distances,
-)
 from repro.datasets.sisap import DATABASE_NAMES, PAPER_TABLE2, load_database
 from repro.experiments.harness import format_table
+from repro.parallel.census import sharded_census
+from repro.parallel.executor import get_executor
 
 __all__ = ["Table2Row", "table2_rows", "format_table2"]
 
@@ -39,21 +37,26 @@ class Table2Row:
 
 
 def _census_by_prefix(
-    points: Sequence, metric, site_indices: Sequence[int], ks: Sequence[int]
+    points: Sequence,
+    metric,
+    site_indices: Sequence[int],
+    ks: Sequence[int],
+    shards: Optional[int] = None,
+    executor=None,
 ) -> Dict[int, int]:
     """Unique-permutation counts for every prefix length in ``ks``.
 
-    One ``n x k_max`` distance matrix is computed; the count for each
-    smaller ``k`` uses the first ``k`` sites, so all counts describe nested
-    site sets (monotone nondecreasing in ``k`` by construction).
+    One ``n x k_max`` distance matrix is computed (per database shard);
+    the count for each smaller ``k`` uses the first ``k`` sites, so all
+    counts describe nested site sets (monotone nondecreasing in ``k`` by
+    construction).  Sharded partial censuses merge exactly, so counts are
+    identical for every ``workers`` / ``shards`` setting.
     """
     sites = [points[i] for i in site_indices]
-    distances = metric.to_sites(points, sites)
-    counts = {}
-    for k in ks:
-        perms = permutations_from_distances(distances[:, :k])
-        counts[k] = count_distinct_permutations(perms)
-    return counts
+    censuses, _ = sharded_census(
+        points, sites, metric, ks=ks, shards=shards, executor=executor
+    )
+    return {k: censuses[k].distinct for k in ks}
 
 
 def table2_rows(
@@ -63,44 +66,55 @@ def table2_rows(
     scale: float = 0.0,
     seed: int = 20080411,
     rho_pairs: int = 2000,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> List[Table2Row]:
     """Regenerate Table 2 rows over the database analogues.
 
     ``n`` / ``scale`` are forwarded to
     :func:`repro.datasets.sisap.load_database`; the default keeps each
-    analogue at a laptop-fast size.
+    analogue at a laptop-fast size.  ``workers`` / ``shards`` parallelize
+    each database's census (:mod:`repro.parallel`) without changing any
+    count.
     """
     names = list(names) if names is not None else list(DATABASE_NAMES)
     k_max = max(ks)
     rows = []
-    for name in names:
-        database = load_database(name, n=n, scale=scale, seed=seed)
-        rng = np.random.default_rng([seed, 1, DATABASE_NAMES.index(name)])
-        site_indices = [
-            int(i)
-            for i in rng.choice(len(database.points), size=k_max, replace=False)
-        ]
-        counts = _census_by_prefix(
-            database.points, database.metric, site_indices, list(ks)
-        )
-        rho = estimate_rho(
-            database.points,
-            database.metric,
-            n_pairs=min(rho_pairs, len(database.points) * 4),
-            rng=np.random.default_rng([seed, 2, DATABASE_NAMES.index(name)]),
-        )
-        meta = PAPER_TABLE2[name]
-        rows.append(
-            Table2Row(
-                name=name,
-                n=len(database.points),
-                rho=rho,
-                counts=counts,
-                paper_n=meta["n"],
-                paper_rho=meta["rho"],
-                paper_counts=dict(meta["counts"]),
+    # One pool serves every database's census.
+    with get_executor(workers) as executor:
+        for name in names:
+            database = load_database(name, n=n, scale=scale, seed=seed)
+            rng = np.random.default_rng([seed, 1, DATABASE_NAMES.index(name)])
+            site_indices = [
+                int(i)
+                for i in rng.choice(
+                    len(database.points), size=k_max, replace=False
+                )
+            ]
+            counts = _census_by_prefix(
+                database.points, database.metric, site_indices, list(ks),
+                shards=shards, executor=executor,
             )
-        )
+            rho = estimate_rho(
+                database.points,
+                database.metric,
+                n_pairs=min(rho_pairs, len(database.points) * 4),
+                rng=np.random.default_rng(
+                    [seed, 2, DATABASE_NAMES.index(name)]
+                ),
+            )
+            meta = PAPER_TABLE2[name]
+            rows.append(
+                Table2Row(
+                    name=name,
+                    n=len(database.points),
+                    rho=rho,
+                    counts=counts,
+                    paper_n=meta["n"],
+                    paper_rho=meta["rho"],
+                    paper_counts=dict(meta["counts"]),
+                )
+            )
     return rows
 
 

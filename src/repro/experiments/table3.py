@@ -21,6 +21,8 @@ from repro.core.dimension import intrinsic_dimensionality
 from repro.datasets.vectors import uniform_vectors
 from repro.experiments.harness import format_table, permutation_count_trials
 from repro.metrics.minkowski import MinkowskiMetric
+from repro.parallel.executor import get_executor
+from repro.parallel.sharedmem import SharedDataset
 
 __all__ = ["Table3Row", "table3_rows", "format_table3", "default_scale"]
 
@@ -57,38 +59,60 @@ def table3_rows(
     n_points: Optional[int] = None,
     n_runs: Optional[int] = None,
     seed: int = 20080411,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> List[Table3Row]:
-    """Regenerate Table 3 (optionally restricted to fewer cells)."""
+    """Regenerate Table 3 (optionally restricted to fewer cells).
+
+    ``workers`` / ``shards`` parallelize each cell's census trials
+    (:mod:`repro.parallel`); site draws and counts are identical to the
+    serial run.
+    """
     env_n, env_runs = default_scale()
     n_points = n_points if n_points is not None else env_n
     n_runs = n_runs if n_runs is not None else env_runs
     rows = []
-    for p in ps:
-        metric = MinkowskiMetric(p)
-        for d in dims:
-            rng = np.random.default_rng([seed, int(p if p != math.inf else 99), d])
-            points = uniform_vectors(n_points, d, rng)
-            # rho of the uniform cube under this metric, sampled cheaply.
-            pair_count = min(2000, n_points * (n_points - 1) // 2)
-            first = rng.integers(0, n_points, size=pair_count)
-            second = rng.integers(0, n_points, size=pair_count)
-            keep = first != second
-            sample = np.array(
-                [
-                    metric.distance(points[i], points[j])
-                    for i, j in zip(first[keep], second[keep])
-                ]
-            )
-            rho = intrinsic_dimensionality(sample)
-            mean_counts: Dict[int, float] = {}
-            max_counts: Dict[int, int] = {}
-            for k in ks:
-                result = permutation_count_trials(
-                    points, metric, k, n_trials=n_runs, rng=rng
+    # One pool serves every (metric, d, k) cell; each dimension's database
+    # is published to the workers once, not once per cell.
+    with get_executor(workers) as executor:
+        for p in ps:
+            metric = MinkowskiMetric(p)
+            for d in dims:
+                rng = np.random.default_rng(
+                    [seed, int(p if p != math.inf else 99), d]
                 )
-                mean_counts[k] = result.mean
-                max_counts[k] = result.max
-            rows.append(Table3Row(p, d, rho, mean_counts, max_counts))
+                points = uniform_vectors(n_points, d, rng)
+                # rho of the uniform cube under this metric, sampled cheaply.
+                pair_count = min(2000, n_points * (n_points - 1) // 2)
+                first = rng.integers(0, n_points, size=pair_count)
+                second = rng.integers(0, n_points, size=pair_count)
+                keep = first != second
+                sample = np.array(
+                    [
+                        metric.distance(points[i], points[j])
+                        for i, j in zip(first[keep], second[keep])
+                    ]
+                )
+                rho = intrinsic_dimensionality(sample)
+                dataset = (
+                    SharedDataset.publish(points)
+                    if executor.workers
+                    else SharedDataset.local(points)
+                )
+                mean_counts: Dict[int, float] = {}
+                max_counts: Dict[int, int] = {}
+                try:
+                    for k in ks:
+                        result = permutation_count_trials(
+                            points, metric, k, n_trials=n_runs, rng=rng,
+                            shards=shards, executor=executor,
+                            dataset=dataset,
+                        )
+                        mean_counts[k] = result.mean
+                        max_counts[k] = result.max
+                finally:
+                    dataset.unlink()
+                rows.append(Table3Row(p, d, rho, mean_counts, max_counts))
     return rows
 
 

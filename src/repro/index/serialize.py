@@ -1,4 +1,4 @@
-"""Persisting and reloading DistPermIndex data.
+"""Persisting and reloading DistPermIndex data, unsharded and sharded.
 
 A real deployment builds the permutation index once and serves queries
 from it; this module saves the index payload — sites, permutation table,
@@ -6,58 +6,63 @@ bit-packed ids — to a single ``.npz`` file and reconstructs a queryable
 index against the original database.  The stored payload is the compact
 representation of Corollary 8, so file sizes track the paper's bit
 accounting.
+
+Sharded indexes persist shard by shard: :func:`save_sharded` writes one
+payload per shard (plus the shard offsets) into one ``.npz``, and
+:func:`load_sharded` rebuilds a
+:class:`~repro.index.sharded.ShardedIndex` whose inner
+:class:`~repro.index.distperm.DistPermIndex` shards are reconstructed
+without recomputing any of the ``n x k`` build distances — the loaded
+index answers queries (serially or across a worker pool, per the
+``workers`` argument) exactly like the one that was saved.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.bitpack import unpack_ids
 from repro.index.distperm import DistPermIndex
+from repro.index.sharded import ShardedIndex
 from repro.metrics.base import Metric
 
-__all__ = ["save_distperm", "load_distperm"]
+__all__ = ["save_distperm", "load_distperm", "save_sharded", "load_sharded"]
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
+_SHARDED_FORMAT_VERSION = 1
 
 
-def save_distperm(path: PathLike, index: DistPermIndex) -> None:
-    """Write the index payload (not the database) to a ``.npz`` file."""
+def _distperm_payload(index: DistPermIndex) -> Dict[str, np.ndarray]:
+    """The serializable payload of one DistPermIndex (not its database)."""
     store = index.packed()
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        site_indices=np.asarray(index.site_indices, dtype=np.int64),
-        table=store.table.astype(np.int64),
-        packed=np.frombuffer(store.packed, dtype=np.uint8),
-        bit_width=np.int64(store.bit_width),
-        count=np.int64(store.count),
-    )
+    return {
+        "site_indices": np.asarray(index.site_indices, dtype=np.int64),
+        "table": store.table.astype(np.int64),
+        "packed": np.frombuffer(store.packed, dtype=np.uint8),
+        "bit_width": np.int64(store.bit_width),
+        "count": np.int64(store.count),
+    }
 
 
-def load_distperm(
-    path: PathLike, points: Sequence, metric: Metric
+def _restore_distperm(
+    payload: Dict[str, np.ndarray], points: Sequence, metric: Metric
 ) -> DistPermIndex:
-    """Reconstruct a DistPermIndex from a saved payload.
+    """Rebuild one DistPermIndex from a payload, without build distances.
 
-    ``points`` must be the database the index was built on (the payload
-    stores only site indices and permutations); a mismatched database is
-    detected by re-deriving one site permutation and comparing.
+    ``points`` must be the database the payload describes; a mismatched
+    database is detected by re-deriving one site permutation and
+    comparing.
     """
-    with np.load(path) as data:
-        version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported format version {version}")
-        site_indices = [int(i) for i in data["site_indices"]]
-        table = data["table"]
-        packed = data["packed"].tobytes()
-        bit_width = int(data["bit_width"])
-        count = int(data["count"])
+    site_indices = [int(i) for i in payload["site_indices"]]
+    table = np.asarray(payload["table"])
+    packed = np.asarray(payload["packed"], dtype=np.uint8).tobytes()
+    bit_width = int(payload["bit_width"])
+    count = int(payload["count"])
     if count != len(points):
         raise ValueError(
             f"payload describes {count} elements, database has {len(points)}"
@@ -100,4 +105,107 @@ def load_distperm(
                 "database does not match payload (permutation probe failed)"
             )
         index.metric.reset()
+    return index
+
+
+def save_distperm(path: PathLike, index: DistPermIndex) -> None:
+    """Write the index payload (not the database) to a ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        **_distperm_payload(index),
+    )
+
+
+def load_distperm(
+    path: PathLike, points: Sequence, metric: Metric
+) -> DistPermIndex:
+    """Reconstruct a DistPermIndex from a saved payload.
+
+    ``points`` must be the database the index was built on (the payload
+    stores only site indices and permutations); a mismatched database is
+    detected by re-deriving one site permutation and comparing.
+    """
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported format version {version}")
+        payload = {key: data[key] for key in data.files if key != "version"}
+    return _restore_distperm(payload, points, metric)
+
+
+def save_sharded(path: PathLike, index: ShardedIndex) -> None:
+    """Write a sharded permutation index to one ``.npz``, shard by shard.
+
+    Every shard must be a :class:`DistPermIndex`; each contributes its
+    own compact payload under a ``s<j>_`` key prefix, alongside the shard
+    offsets.  The database itself is not stored.
+    """
+    for shard in index.shards:
+        if not isinstance(shard, DistPermIndex):
+            raise TypeError(
+                "save_sharded requires DistPermIndex shards, got "
+                f"{type(shard).__name__}"
+            )
+    arrays: Dict[str, np.ndarray] = {
+        "version": np.int64(_SHARDED_FORMAT_VERSION),
+        "offsets": np.asarray(index.shard_offsets, dtype=np.int64),
+    }
+    for j, shard in enumerate(index.shards):
+        for key, value in _distperm_payload(shard).items():
+            arrays[f"s{j}_{key}"] = value
+    np.savez_compressed(path, **arrays)
+
+
+def load_sharded(
+    path: PathLike,
+    points: Sequence,
+    metric: Metric,
+    *,
+    workers: Optional[int] = None,
+) -> ShardedIndex:
+    """Reconstruct a sharded permutation index from a saved payload.
+
+    ``points`` must be the database the index was built on; each shard is
+    restored against its own contiguous slice (with the same probe check
+    as :func:`load_distperm`) and no build distances are recomputed.
+    ``workers`` selects the loaded index's execution backend, independent
+    of how the saved index ran.
+    """
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _SHARDED_FORMAT_VERSION:
+            raise ValueError(f"unsupported sharded format version {version}")
+        offsets = [int(v) for v in data["offsets"]]
+        n_shards = len(offsets) - 1
+        payloads = [
+            {
+                key: data[f"s{j}_{key}"]
+                for key in ("site_indices", "table", "packed",
+                            "bit_width", "count")
+            }
+            for j in range(n_shards)
+        ]
+    if offsets[0] != 0 or offsets[-1] != len(points) or n_shards < 1:
+        raise ValueError(
+            f"payload shard offsets {offsets} do not cover a database "
+            f"of {len(points)} elements"
+        )
+    from repro.index.base import SearchStats
+    from repro.metrics.base import CountingMetric
+
+    index = ShardedIndex.__new__(ShardedIndex)
+    index.points = points
+    index.metric = CountingMetric(metric)
+    index.stats = SearchStats()
+    index._inner_factory = DistPermIndex
+    index._requested_shards = n_shards
+    index._init_runtime(workers)
+    index.shard_offsets = offsets
+    index.shards = [
+        _restore_distperm(
+            payload, points[offsets[j] : offsets[j + 1]], metric
+        )
+        for j, payload in enumerate(payloads)
+    ]
     return index

@@ -1,0 +1,369 @@
+"""Sharded index: partition the database, fan queries out, merge answers.
+
+:class:`ShardedIndex` splits a database into ``S`` balanced contiguous
+shards, builds any inner index type over each shard, and answers every
+query in the :class:`~repro.index.base.Index` API — ``knn`` / ``range`` /
+``knn_approx``, single and batched — by fanning the query set out to the
+shards and merging the per-shard answers.  Shard-local neighbor indices
+are offset back into global database positions, and because the shards
+are contiguous ranges, per-shard ``(distance, index)`` orderings merge
+into exactly the global ordering: exact queries return answers identical
+to the unsharded index — same neighbor sets, same tie-breaking — for any
+shard count and any worker count.  The one caveat is inherited from the
+batched engine (see :mod:`repro.index.base`): vectorized *float* metrics
+compute through matrix kernels whose rounding can depend on the matrix
+width, so Euclidean distances can differ from the unsharded index in the
+last ulp; discrete metrics (strings, trees, matrices) share one integer
+code path and are bit-identical.
+
+Cost accounting is aggregated: every inner index wraps its own
+:class:`~repro.metrics.base.CountingMetric`, and the fan-out charges the
+sum of per-shard evaluation deltas to the sharded index's own counter, so
+:class:`~repro.index.base.SearchStats` reads the same totals the
+unsharded equivalent would report for exhaustive inner indexes (the sum
+over a partition of the database is the whole database).  Budgeted
+``knn_approx`` splits the budget across shards proportionally to shard
+size (rounding up, each shard keeping at least ``k``), so the evaluation
+budget — like the data — is sharded.
+
+Execution runs through :mod:`repro.parallel`: the serial backend builds
+and queries shards in order in-process (zero overhead, the reference
+semantics), while a process pool builds shards from a zero-copy
+shared-memory view of the database and serves queries from per-worker
+shard replicas, published once as shared-memory payloads rather than
+re-shipped per call.  Results are deterministic — identical across
+``workers`` settings — because the fan-out/merge is ordered by shard.
+
+Two practical notes: inner factories must be picklable for pool
+execution (a class, ``functools.partial``, or module-level function, not
+a lambda) and deterministic (seed any randomness inside the factory, do
+not share a mutable generator across shards, or serial and pool builds
+will diverge); and nesting a ``ShardedIndex`` inside a ``ShardedIndex``
+is unsupported.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.index.base import Index, Neighbor
+from repro.index.linear import LinearScan
+from repro.metrics.base import Metric
+from repro.parallel.census import shard_ranges
+from repro.parallel.executor import Executor, get_executor, serial_workers
+from repro.parallel.sharedmem import SharedDataset
+
+__all__ = ["ShardedIndex", "shard_index"]
+
+InnerFactory = Callable[[Sequence[Any], Metric], Index]
+
+
+def _build_shard_task(
+    dataset: SharedDataset,
+    start: int,
+    stop: int,
+    factory: InnerFactory,
+    metric: Metric,
+) -> Tuple[type, dict]:
+    """Build one shard's inner index in a worker; return its state.
+
+    The shard's points come from the shared dataset (sliced in place);
+    the returned state omits them so only the index payload travels back
+    — the parent reattaches its own shard view.
+    """
+    points = dataset.resolve()[start:stop]
+    index = factory(points, metric)
+    state = dict(index.__dict__)
+    state.pop("points")
+    return type(index), state
+
+
+def _query_shard_task(
+    payload: SharedDataset,
+    op: str,
+    queries_dataset: SharedDataset,
+    arg: Any,
+    budget: Optional[int],
+) -> Tuple[List[List[Neighbor]], int]:
+    """Answer one shard's slice of a batched query in a worker.
+
+    The shard index is unpickled from its shared-memory payload once per
+    worker process (cached), so repeated batches pay no per-call
+    shipping.  Returns shard-local results plus the distance-evaluation
+    delta, measured by the shard's own counter.
+    """
+    shard: Index = payload.resolve()
+    queries = queries_dataset.resolve()
+    before = shard.metric.count
+    if op == "range":
+        results = shard.range_batch(queries, arg)
+    elif op == "knn":
+        results = shard.knn_batch(queries, arg)
+    else:
+        results = shard.knn_approx_batch(queries, arg, budget=budget)
+    return results, shard.metric.count - before
+
+
+class ShardedIndex(Index):
+    """Partition any database across per-shard inner indexes.
+
+    ``inner_factory(points, metric) -> Index`` builds each shard's index
+    (default: :class:`~repro.index.linear.LinearScan`); ``n_shards``
+    bounds the shard count (capped at ``len(points)``); ``workers``
+    follows the library-wide convention (``None``/``0``/``"serial"`` for
+    in-process execution, a positive integer for a process pool used for
+    both builds and queries).  Close the index (or use it as a context
+    manager) when a pool is attached, to release worker processes and
+    shared-memory payloads.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Any],
+        metric: Metric,
+        inner_factory: InnerFactory = LinearScan,
+        *,
+        n_shards: int = 4,
+        workers: Optional[int] = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"need n_shards >= 1, got {n_shards}")
+        self._inner_factory = inner_factory
+        self._requested_shards = n_shards
+        self._init_runtime(workers)
+        super().__init__(points, metric)
+
+    def _init_runtime(self, workers) -> None:
+        """Set the execution-state attributes (also used by the loader)."""
+        serial_workers(workers)  # validate the spec early
+        self._workers = workers
+        self._executor: Optional[Executor] = None
+        self._query_payloads: Optional[List[SharedDataset]] = None
+
+    # ------------------------------------------------------------------
+    # Build.
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        ranges = shard_ranges(len(self.points), self._requested_shards)
+        self.shard_offsets = [start for start, _ in ranges] + [len(self.points)]
+        raw_metric = self.metric.inner
+        if serial_workers(self._workers):
+            self.shards: List[Index] = [
+                self._inner_factory(self.points[start:stop], raw_metric)
+                for start, stop in ranges
+            ]
+        else:
+            dataset = SharedDataset.publish(self.points)
+            try:
+                built = self._get_executor().map(
+                    _build_shard_task,
+                    [
+                        (dataset, start, stop, self._inner_factory, raw_metric)
+                        for start, stop in ranges
+                    ],
+                )
+            finally:
+                dataset.unlink()
+            self.shards = []
+            for (start, stop), (cls, state) in zip(ranges, built):
+                shard = cls.__new__(cls)
+                shard.__dict__.update(state)
+                shard.points = self.points[start:stop]
+                self.shards.append(shard)
+        # Charge aggregate shard build cost to this index's own counter,
+        # which Index.__init__ is about to read into stats.
+        self.metric.count += sum(s.stats.build_distances for s in self.shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # ------------------------------------------------------------------
+    # Fan-out execution.
+    # ------------------------------------------------------------------
+
+    def _get_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = get_executor(self._workers)
+        return self._executor
+
+    def _split_budget(self, k: int, budget: Optional[int]) -> List[Optional[int]]:
+        """Per-shard budgets, proportional to shard size (rounded up).
+
+        Each shard keeps at least ``min(k, shard size)`` so every shard
+        can still surface ``k`` candidates for the global merge; the
+        ceiling rounding over-allocates by at most one evaluation per
+        shard.  ``None`` (exact) stays ``None`` everywhere.
+        """
+        if budget is None:
+            return [None] * self.n_shards
+        n = len(self.points)
+        out: List[Optional[int]] = []
+        for s in range(self.n_shards):
+            size = self.shard_offsets[s + 1] - self.shard_offsets[s]
+            out.append(max(min(k, size), math.ceil(budget * size / n)))
+        return out
+
+    def _fanout(
+        self,
+        op: str,
+        queries: Sequence[Any],
+        arg: Any,
+        budget: Optional[int] = None,
+    ) -> List[List[Neighbor]]:
+        """Run one batched operation on every shard and merge the answers.
+
+        Per-shard results arrive sorted with shard-local indices; the
+        merge offsets them into global positions and concatenates across
+        shards per query (the public API's final sort restores the global
+        order, identical to the unsharded index).  Evaluation deltas from
+        every shard are charged to this index's counter.
+        """
+        budgets = self._split_budget(arg, budget) if op == "knn-approx" else (
+            [None] * self.n_shards
+        )
+        if serial_workers(self._workers):
+            per_shard = []
+            for shard, shard_budget in zip(self.shards, budgets):
+                before = shard.metric.count
+                if op == "range":
+                    results = shard.range_batch(queries, arg)
+                elif op == "knn":
+                    results = shard.knn_batch(queries, arg)
+                else:
+                    results = shard.knn_approx_batch(
+                        queries, arg, budget=shard_budget
+                    )
+                self.metric.count += shard.metric.count - before
+                per_shard.append(results)
+        else:
+            payloads = self._publish_shards()
+            # Per-call payload: ephemeral, so workers copy-and-close
+            # instead of caching — repeated batches cannot grow worker
+            # memory (the shard replicas above are the only cached state).
+            queries_dataset = SharedDataset.publish(
+                queries if hasattr(queries, "dtype") else list(queries),
+                ephemeral=True,
+            )
+            try:
+                answers = self._get_executor().map(
+                    _query_shard_task,
+                    [
+                        (payload, op, queries_dataset, arg, shard_budget)
+                        for payload, shard_budget in zip(payloads, budgets)
+                    ],
+                )
+            finally:
+                queries_dataset.unlink()
+            per_shard = [results for results, _ in answers]
+            self.metric.count += sum(delta for _, delta in answers)
+        merged: List[List[Neighbor]] = []
+        for q in range(len(queries)):
+            row: List[Neighbor] = []
+            for s, results in enumerate(per_shard):
+                offset = self.shard_offsets[s]
+                row.extend(
+                    Neighbor(neighbor.distance, neighbor.index + offset)
+                    for neighbor in results[q]
+                )
+            merged.append(row)
+        return merged
+
+    def _publish_shards(self) -> List[SharedDataset]:
+        """Publish each built shard once for pool workers to replicate."""
+        if self._query_payloads is None:
+            self._query_payloads = [
+                SharedDataset.publish(shard) for shard in self.shards
+            ]
+        return self._query_payloads
+
+    # ------------------------------------------------------------------
+    # Index implementation hooks: batched is primary, single-query is a
+    # batch of one.
+    # ------------------------------------------------------------------
+
+    def _range_batch_impl(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[List[Neighbor]]:
+        return self._fanout("range", queries, radius)
+
+    def _knn_batch_impl(
+        self, queries: Sequence[Any], k: int
+    ) -> List[List[Neighbor]]:
+        return self._fanout("knn", queries, k)
+
+    def _knn_approx_batch_impl(
+        self, queries: Sequence[Any], k: int, budget: Optional[int]
+    ) -> List[List[Neighbor]]:
+        return self._fanout("knn-approx", queries, k, budget)
+
+    def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
+        return self._range_batch_impl([query], radius)[0]
+
+    def _knn_impl(self, query: Any, k: int) -> List[Neighbor]:
+        return self._knn_batch_impl([query], k)[0]
+
+    def _knn_approx_impl(
+        self, query: Any, k: int, budget: Optional[int]
+    ) -> List[Neighbor]:
+        return self._knn_approx_batch_impl([query], k, budget)[0]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool and shared-memory payloads (idempotent)."""
+        if self._query_payloads is not None:
+            for payload in self._query_payloads:
+                payload.unlink()
+            self._query_payloads = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        inner = type(self.shards[0]).__name__ if self.shards else "?"
+        return (
+            f"ShardedIndex(n={len(self.points)}, shards={self.n_shards}, "
+            f"inner={inner}, workers={self._workers!r})"
+        )
+
+
+def shard_index(
+    index: Index,
+    *,
+    n_shards: int,
+    workers: Optional[int] = None,
+    inner_factory: Optional[InnerFactory] = None,
+) -> ShardedIndex:
+    """Wrap an existing index's database in a :class:`ShardedIndex`.
+
+    Rebuilds per-shard indexes of ``type(index)`` (or ``inner_factory``)
+    over the same points and metric.  Index types whose constructors need
+    more than ``(points, metric)`` — pivot counts, site counts, seeds —
+    should pass an explicit ``inner_factory`` (e.g. a
+    ``functools.partial``) to control those parameters per shard.
+    """
+    factory = inner_factory if inner_factory is not None else type(index)
+    return ShardedIndex(
+        index.points,
+        index.metric.inner,
+        factory,
+        n_shards=n_shards,
+        workers=workers,
+    )

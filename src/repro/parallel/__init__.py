@@ -1,0 +1,38 @@
+"""Multi-core execution layer: executors, shared-memory shipping, censuses.
+
+Every layer above the metrics parallelizes through this package:
+
+- :mod:`repro.parallel.executor` — the ``workers=`` seam: a deterministic
+  serial backend and an order-preserving process pool;
+- :mod:`repro.parallel.sharedmem` — zero-copy publication of vector
+  matrices, encoded string collections, and arbitrary payloads to pool
+  workers via :mod:`multiprocessing.shared_memory`;
+- :mod:`repro.parallel.census` — the sharded, exactly-mergeable
+  permutation census behind Tables 2–3 and ``repro census``.
+
+The sharded index itself lives with its peers in
+:mod:`repro.index.sharded`.
+"""
+
+from repro.parallel.census import shard_ranges, sharded_census
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    serial_workers,
+)
+from repro.parallel.sharedmem import SharedArray, SharedDataset, decode_strings
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SharedArray",
+    "SharedDataset",
+    "decode_strings",
+    "get_executor",
+    "serial_workers",
+    "shard_ranges",
+    "sharded_census",
+]

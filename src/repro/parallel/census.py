@@ -1,0 +1,160 @@
+"""Parallel permutation-census driver: shard, count, merge.
+
+The census of Tables 2–3 is embarrassingly mergeable: distance
+permutations are computed row by row, so the census of a database equals
+the :meth:`~repro.core.estimate.StreamingCensus.merge` of censuses over
+any partition of its rows — and each partial census is small, bounded by
+the number of *distinct* permutations ``O(min(n, N_{d,p}(k)))`` (the
+paper's counting results), not by the shard size.
+
+:func:`sharded_census` splits the database into row shards, computes one
+``shard x sites`` distance matrix per shard (through the batched metric
+kernels), folds each shard's permutations — for every requested prefix
+length of the site list at once, the way one site draw serves all ``k``
+in Table 2 — into a partial census, and merges the partials in shard
+order.  Shards run through any :class:`~repro.parallel.executor.Executor`;
+the database ships to pool workers zero-copy via
+:class:`~repro.parallel.sharedmem.SharedDataset`.  Results are identical
+for every ``workers``/``shards`` combination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimate import StreamingCensus
+from repro.core.permutation import permutations_from_distances
+from repro.metrics.base import Metric
+from repro.parallel.executor import Executor, get_executor
+from repro.parallel.sharedmem import SharedDataset
+
+__all__ = ["shard_ranges", "sharded_census"]
+
+
+def shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``shards`` balanced contiguous runs.
+
+    The first ``n % shards`` runs are one element longer, so sizes differ
+    by at most one; empty runs are never produced (fewer runs come back
+    when ``shards > n``).
+    """
+    if n < 0 or shards < 1:
+        raise ValueError(f"need n >= 0 and shards >= 1, got {n}, {shards}")
+    shards = min(shards, n) if n else 0
+    out = []
+    start = 0
+    for s in range(shards):
+        stop = start + n // shards + (1 if s < n % shards else 0)
+        out.append((start, stop))
+        start = stop
+    return out
+
+
+def _census_task(
+    dataset: SharedDataset,
+    start: int,
+    stop: int,
+    sites: Sequence[Any],
+    metric: Metric,
+    ks: Sequence[int],
+    collect: bool,
+) -> Tuple[Dict[int, StreamingCensus], Optional[np.ndarray]]:
+    """Partial census of one row shard, for every prefix length in ``ks``.
+
+    One ``shard x len(sites)`` distance matrix serves every prefix
+    length: the permutation of the first ``k`` sites is recomputed from
+    the first ``k`` distance columns (a permutation of a site prefix is
+    *not* a prefix of the full permutation).
+    """
+    points = dataset.resolve()[start:stop]
+    distances = metric.to_sites(points, sites)
+    full = None
+    censuses: Dict[int, StreamingCensus] = {}
+    for k in ks:
+        perms = permutations_from_distances(distances[:, :k])
+        if k == len(sites):
+            full = perms
+        census = StreamingCensus()
+        census.update(perms)
+        censuses[k] = census
+    if collect and full is None:
+        full = permutations_from_distances(distances)
+    return censuses, (full if collect else None)
+
+
+def sharded_census(
+    points: Sequence[Any],
+    sites: Sequence[Any],
+    metric: Metric,
+    ks: Optional[Sequence[int]] = None,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    dataset: Optional[SharedDataset] = None,
+    collect_permutations: bool = False,
+) -> Tuple[Dict[int, StreamingCensus], Optional[np.ndarray]]:
+    """Census of ``points`` against prefixes of ``sites``, sharded.
+
+    Returns ``(censuses, permutations)`` where ``censuses[k]`` is the
+    exact census of the first ``k`` sites for each ``k`` in ``ks``
+    (default: just ``len(sites)``), and ``permutations`` is the full
+    ``(n, len(sites))`` permutation matrix when
+    ``collect_permutations=True`` (the ``--dump`` path), else ``None``.
+
+    ``executor`` overrides ``workers`` and is left open for the caller to
+    reuse; otherwise an executor is built from ``workers`` and closed
+    before returning.  ``dataset`` may supply an already-published
+    :class:`SharedDataset` of ``points`` (callers looping many censuses
+    over one database publish once); its lifetime stays with the caller.
+    ``shards`` defaults to the worker count (serial runs use one shard).
+    Counts are exact and identical for every ``workers``/``shards``
+    combination.
+    """
+    ks = list(ks) if ks is not None else [len(sites)]
+    if any(not 0 <= k <= len(sites) for k in ks):
+        raise ValueError(f"prefix lengths must lie in [0, {len(sites)}]")
+    own_executor = executor is None
+    executor = executor if executor is not None else get_executor(workers)
+    if shards is None:
+        shards = max(1, executor.workers)
+    ranges = shard_ranges(len(points), shards)
+    own_dataset = dataset is None
+    if dataset is None:
+        # Serial execution resolves in-process: no shared-memory segment
+        # (and no /dev/shm requirement) unless a pool will read it.
+        dataset = (
+            SharedDataset.publish(points)
+            if executor.workers
+            else SharedDataset.local(points)
+        )
+    try:
+        partials = executor.map(
+            _census_task,
+            [
+                (dataset, start, stop, list(sites), metric, ks,
+                 collect_permutations)
+                for start, stop in ranges
+            ],
+        )
+    finally:
+        if own_dataset:
+            dataset.unlink()
+        if own_executor:
+            executor.close()
+    censuses = {
+        k: StreamingCensus.merged(part[0][k] for part in partials)
+        for k in ks
+    }
+    permutations = None
+    if collect_permutations:
+        width = len(sites)
+        chunks = [part[1] for part in partials]
+        permutations = (
+            np.concatenate(chunks, axis=0)
+            if chunks
+            else np.empty((0, width), dtype=np.int64)
+        )
+    return censuses, permutations

@@ -1,0 +1,150 @@
+"""Executor abstraction: one API, a deterministic serial backend and a
+process-pool backend.
+
+Everything above the metrics layer parallelizes through this seam: a
+caller splits its work into an *ordered* list of tasks and calls
+:meth:`Executor.map`, which always returns results in task order.  The
+serial backend runs tasks inline in submission order — the reference
+semantics every parallel run must reproduce — and the process backend
+fans tasks out to a pool while preserving the result order, so any
+deterministic reduction over the results is itself deterministic for
+every worker count.
+
+Worker-count convention, used by every ``workers=`` parameter in the
+library: ``None``, ``0``, or ``"serial"`` select the serial backend;
+a positive integer selects a process pool of that size.  Task functions
+and arguments must be picklable for the pool backend (module-level
+functions, classes, ``functools.partial`` — not lambdas); big arrays
+ship zero-copy through :mod:`repro.parallel.sharedmem` descriptors
+instead of pickling.
+
+The pool uses the ``forkserver`` start method where available (children
+fork from a clean, preloaded server process: no copy of the parent's
+heap, no re-import of numpy per task) and falls back to ``spawn``;
+``REPRO_MP_CONTEXT`` overrides the choice.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "serial_workers",
+]
+
+WorkerSpec = Union[None, int, str]
+
+
+def serial_workers(workers: WorkerSpec) -> bool:
+    """True when a ``workers=`` value selects the serial backend."""
+    if workers is None or workers == "serial":
+        return True
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValueError(f"workers must be None, 'serial', or an int >= 0, "
+                         f"got {workers!r}")
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers == 0
+
+
+class Executor:
+    """Common surface of the serial and process backends."""
+
+    #: Pool size; 0 for the serial backend.
+    workers: int = 0
+
+    def map(
+        self, fn: Callable[..., Any], tasks: Sequence[Tuple]
+    ) -> List[Any]:
+        """Run ``fn(*task)`` for every task, results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run tasks inline, in order — the reference semantics."""
+
+    def map(
+        self, fn: Callable[..., Any], tasks: Sequence[Tuple]
+    ) -> List[Any]:
+        return [fn(*task) for task in tasks]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+def _default_context() -> multiprocessing.context.BaseContext:
+    method = os.environ.get("REPRO_MP_CONTEXT")
+    if method:
+        return multiprocessing.get_context(method)
+    try:
+        context = multiprocessing.get_context("forkserver")
+        # Preload the package (and transitively numpy) into the fork
+        # server once, so each forked worker starts warm instead of
+        # re-importing numpy per pool.
+        context.set_forkserver_preload(["repro"])
+        return context
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class ProcessExecutor(Executor):
+    """A process pool with deterministic, order-preserving ``map``.
+
+    Tasks are submitted in order and results gathered in the same order,
+    so callers see identical result sequences no matter how the pool
+    interleaves execution.  The first task exception propagates after the
+    pool is drained.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"process pool needs workers >= 1, got {workers}")
+        self.workers = workers
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = (
+            concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, mp_context=_default_context()
+            )
+        )
+
+    def map(
+        self, fn: Callable[..., Any], tasks: Sequence[Tuple]
+    ) -> List[Any]:
+        if self._pool is None:
+            raise RuntimeError("executor is closed")
+        futures = [self._pool.submit(fn, *task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+def get_executor(workers: WorkerSpec) -> Executor:
+    """Build the executor a ``workers=`` value selects.
+
+    ``None`` / ``0`` / ``"serial"`` give :class:`SerialExecutor`; a
+    positive integer gives a :class:`ProcessExecutor` of that size.
+    """
+    if serial_workers(workers):
+        return SerialExecutor()
+    return ProcessExecutor(int(workers))

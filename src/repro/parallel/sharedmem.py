@@ -1,0 +1,280 @@
+"""Zero-copy dataset shipping to worker processes via shared memory.
+
+Process-pool parallelism normally pays to pickle the database into every
+worker; for the paper's workloads (a million vectors, a quarter-million
+dictionary words) that copy dwarfs the per-shard work being distributed.
+This module publishes the big payloads **once** into
+:mod:`multiprocessing.shared_memory` segments and ships only tiny
+descriptors:
+
+- :class:`SharedArray` — one ndarray in one segment; workers attach and
+  view it in place (read-only), no copy;
+- :class:`SharedDataset` — a whole database: vector matrices ship as
+  their array, string collections ship as their
+  :class:`~repro.metrics.encoding.EncodedStrings` code-point matrix plus
+  length vector (decoded back to ``str`` lazily, once per worker), and
+  anything else falls back to one pickled blob in shared memory (still
+  shipped once, not per task).
+
+Descriptors are picklable and resolve through a per-process attachment
+cache, so a worker maps each segment a single time no matter how many
+tasks touch it.  The publishing process owns the segments: call
+:meth:`SharedDataset.unlink` (or use the context manager) when the
+workers are done.  In the publishing process itself ``resolve()``
+returns the original object — the serial executor never touches shared
+memory at all.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArray", "SharedDataset", "decode_strings"]
+
+#: Per-process cache of attached segments: name -> (SharedMemory, ndarray).
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+#: Per-process cache of resolved datasets: lead segment name -> points.
+_RESOLVED: Dict[str, Any] = {}
+
+
+def _attach(name: str, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
+    """Attach to a published segment and view it as a read-only array.
+
+    On Python 3.13+ the attachment opts out of resource tracking: the
+    publishing process owns the segment's lifetime.  On earlier versions
+    attaching re-registers the name with the resource tracker, which is
+    harmless for pool workers — they inherit the *parent's* tracker, whose
+    name set deduplicates, so the segment is still unlinked exactly once,
+    by the owner.
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[1]
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # track= is 3.13+; see docstring for older behavior
+        shm = shared_memory.SharedMemory(name=name)
+    array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    array.flags.writeable = False
+    _ATTACHED[name] = (shm, array)
+    return array
+
+
+def _read_once(name: str, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
+    """Copy a segment's contents out and close the mapping immediately.
+
+    For ephemeral payloads: the per-process caches are never touched, so
+    the worker holds no reference once the call returns and the owner's
+    ``unlink`` genuinely frees the memory everywhere.
+    """
+    cached = _ATTACHED.get(name)
+    if cached is not None:  # already mapped long-lived: just view it
+        return cached[1]
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # track= is 3.13+; see _attach for older behavior
+        shm = shared_memory.SharedMemory(name=name)
+    try:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        return np.array(view, copy=True)
+    finally:
+        shm.close()
+
+
+class SharedArray:
+    """One ndarray published in shared memory, addressable by descriptor.
+
+    Pickling carries only ``(name, dtype, shape)``; :meth:`array` returns
+    the local copy in the owner process and an attached read-only view in
+    workers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype: str,
+        shape: Tuple[int, ...],
+        _shm: Optional[shared_memory.SharedMemory] = None,
+        _local: Optional[np.ndarray] = None,
+    ):
+        self.name = name
+        self.dtype = dtype
+        self.shape = tuple(shape)
+        self._shm = _shm
+        self._local = _local
+
+    @classmethod
+    def publish(cls, array: np.ndarray) -> "SharedArray":
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return cls(shm.name, array.dtype.str, array.shape, shm, view)
+
+    def array(self) -> np.ndarray:
+        if self._local is not None:
+            return self._local
+        return _attach(self.name, self.dtype, self.shape)
+
+    def unlink(self) -> None:
+        """Release the segment (owner side); safe to call twice."""
+        if self._shm is not None:
+            self._local = None
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+
+    def __reduce__(self):
+        return (SharedArray, (self.name, self.dtype, self.shape))
+
+    def __repr__(self) -> str:
+        return f"SharedArray({self.name!r}, {self.dtype}, {self.shape})"
+
+
+def decode_strings(codes: np.ndarray, lengths: np.ndarray) -> List[str]:
+    """Rebuild the string list behind an encoded code-point matrix.
+
+    The inverse of :meth:`repro.metrics.encoding.EncodedStrings.from_strings`:
+    one flat UTF-32 decode plus per-string slicing, with a ``chr`` fallback
+    for lone surrogates (which UTF-32 refuses to round-trip).
+    """
+    n = lengths.shape[0]
+    if n == 0:
+        return []
+    mask = np.arange(codes.shape[1])[None, :] < lengths[:, None]
+    flat = np.ascontiguousarray(codes[mask], dtype="<u4")
+    try:
+        text = flat.tobytes().decode("utf-32-le")
+    except UnicodeDecodeError:
+        text = "".join(chr(int(c)) for c in flat)
+    out = []
+    position = 0
+    for length in lengths:
+        out.append(text[position : position + int(length)])
+        position += int(length)
+    return out
+
+
+class SharedDataset:
+    """A whole database published once for every worker to read in place.
+
+    ``kind`` selects the wire format: ``"array"`` (vector databases),
+    ``"strings"`` (code-point matrix + lengths, decoded lazily per
+    worker), or ``"pickle"`` (arbitrary objects as one shared blob).
+    Resolution is cached per process, so the decode/unpickle cost is paid
+    once per worker, not once per task.
+
+    ``ephemeral=True`` marks short-lived payloads (per-call query sets):
+    workers materialize them with a copy-and-close read that touches no
+    per-process cache, so the segment really is gone — from every
+    process — once the owner unlinks it.  Long-lived payloads (the
+    database, built shard replicas) stay cached and mapped.
+    """
+
+    def __init__(self, kind: str, arrays: Sequence[SharedArray],
+                 _local: Any = None, ephemeral: bool = False):
+        self.kind = kind
+        self.arrays = list(arrays)
+        self.ephemeral = ephemeral
+        self._local = _local
+
+    @classmethod
+    def local(cls, points: Any) -> "SharedDataset":
+        """Wrap a database without touching shared memory.
+
+        The in-process counterpart of :meth:`publish` for serial
+        executors: ``resolve()`` returns ``points`` and ``unlink()`` is a
+        no-op, so serial runs never allocate a segment (or require any
+        ``/dev/shm`` space).  Local datasets cannot be shipped to
+        workers — pickling one raises.
+        """
+        return cls("local", [], points)
+
+    @classmethod
+    def publish(cls, points: Any, ephemeral: bool = False) -> "SharedDataset":
+        if isinstance(points, np.ndarray):
+            return cls(
+                "array", [SharedArray.publish(points)], points, ephemeral
+            )
+        if isinstance(points, (list, tuple)) and points and all(
+            isinstance(p, str) for p in points
+        ):
+            from repro.metrics.encoding import encode_strings
+
+            encoded = encode_strings(points)
+            return cls(
+                "strings",
+                [
+                    SharedArray.publish(encoded.codes),
+                    SharedArray.publish(encoded.lengths),
+                ],
+                points,
+                ephemeral,
+            )
+        blob = np.frombuffer(
+            pickle.dumps(points, protocol=pickle.HIGHEST_PROTOCOL),
+            dtype=np.uint8,
+        )
+        return cls("pickle", [SharedArray.publish(blob)], points, ephemeral)
+
+    def _materialize(self, arrays: Sequence[np.ndarray]) -> Any:
+        if self.kind == "array":
+            return arrays[0]
+        if self.kind == "strings":
+            return decode_strings(arrays[0], arrays[1])
+        if self.kind == "pickle":
+            return pickle.loads(arrays[0].tobytes())
+        raise ValueError(  # pragma: no cover - publish() controls the kinds
+            f"unknown shared dataset kind {self.kind!r}"
+        )
+
+    def resolve(self) -> Any:
+        """Return the database: the original in the owner, a shared view
+        (or per-worker reconstruction) elsewhere."""
+        if self._local is not None:
+            return self._local
+        if self.ephemeral:
+            # Copy-and-close read: nothing enters the per-process caches,
+            # no mapping outlives this call.
+            return self._materialize(
+                [_read_once(a.name, a.dtype, a.shape) for a in self.arrays]
+            )
+        token = self.arrays[0].name
+        cached = _RESOLVED.get(token)
+        if cached is not None:
+            return cached
+        points = self._materialize([a.array() for a in self.arrays])
+        _RESOLVED[token] = points
+        return points
+
+    def unlink(self) -> None:
+        """Release every segment (owner side); safe to call twice."""
+        for array in self.arrays:
+            array.unlink()
+
+    def __enter__(self) -> "SharedDataset":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+    def __reduce__(self):
+        if self.kind == "local":
+            raise TypeError(
+                "a local (unpublished) SharedDataset cannot be shipped to "
+                "workers; use SharedDataset.publish() for pool execution"
+            )
+        return (SharedDataset, (self.kind, self.arrays, None, self.ephemeral))
+
+    def __repr__(self) -> str:
+        return f"SharedDataset(kind={self.kind!r}, segments={len(self.arrays)})"

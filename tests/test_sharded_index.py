@@ -1,0 +1,296 @@
+"""Worker/shard invariance of :class:`~repro.index.sharded.ShardedIndex`.
+
+The acceptance contract: exact ``knn`` / ``range`` answers (single and
+batched) are identical to the unsharded inner index — same neighbor
+sets, same ``(distance, index)`` tie-breaking — and
+:class:`~repro.index.base.SearchStats` totals match for exhaustive inner
+indexes, across ``workers in {serial, 1, 4}`` x ``shards in {1, 4}``.
+Discrete metrics are compared bit-for-bit; Euclidean by rounded
+signature (the documented last-ulp caveat of the vectorized kernels).
+Budgeted ``knn_approx`` must be deterministic across worker counts for a
+fixed shard layout.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import run_query_workload
+from repro.index import (
+    DistPermIndex,
+    LinearScan,
+    ShardedIndex,
+    VPTree,
+    shard_index,
+)
+from repro.index.serialize import load_sharded, save_sharded
+from repro.metrics import EuclideanDistance, LevenshteinDistance
+
+WORKER_GRID = [None, 1, 4]
+SHARD_GRID = [1, 4]
+
+
+def vptree_factory(points, metric):
+    """Module-level (picklable), freshly seeded per call (deterministic)."""
+    return VPTree(points, metric, rng=np.random.default_rng(20080415))
+
+
+def _signature(rows):
+    return [[(n.index, round(n.distance, 9)) for n in row] for row in rows]
+
+
+@pytest.fixture(scope="module")
+def vector_setup():
+    rng = np.random.default_rng(5)
+    points = rng.random((160, 3))
+    queries = points[rng.choice(160, size=10, replace=False)]
+    return points, queries, EuclideanDistance()
+
+
+@pytest.fixture(scope="module")
+def string_setup():
+    rng = np.random.default_rng(6)
+    letters = "abc"
+    # Heavy ties: short words over a 3-letter alphabet.
+    words = [
+        "".join(letters[i] for i in rng.integers(0, 3, size=rng.integers(2, 6)))
+        for _ in range(140)
+    ]
+    queries = words[:8]
+    return words, queries, LevenshteinDistance()
+
+
+class TestExactInvariance:
+    """Answers and stats versus the unsharded oracle, full grid."""
+
+    @pytest.mark.parametrize("shards", SHARD_GRID)
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    def test_strings_bit_identical(self, string_setup, workers, shards):
+        words, queries, metric = string_setup
+        oracle = LinearScan(words, metric)
+        knn_ref = oracle.knn_batch(queries, 5)
+        knn_cost = oracle.stats.query_distances
+        oracle.reset_stats()
+        range_ref = oracle.range_batch(queries, 2.0)
+        range_cost = oracle.stats.query_distances
+        with ShardedIndex(
+            words, metric, LinearScan, n_shards=shards, workers=workers
+        ) as index:
+            assert index.knn_batch(queries, 5) == knn_ref
+            assert index.stats.query_distances == knn_cost
+            assert index.stats.queries == len(queries)
+            index.reset_stats()
+            assert index.range_batch(queries, 2.0) == range_ref
+            assert index.stats.query_distances == range_cost
+            # Single-query surface agrees with the batched one.
+            assert index.knn_query(queries[0], 5) == knn_ref[0]
+            assert index.range_query(queries[1], 2.0) == range_ref[1]
+
+    @pytest.mark.parametrize("shards", SHARD_GRID)
+    @pytest.mark.parametrize("workers", WORKER_GRID)
+    def test_vectors_signature_identical(self, vector_setup, workers, shards):
+        points, queries, metric = vector_setup
+        oracle = LinearScan(points, metric)
+        knn_ref = _signature(oracle.knn_batch(queries, 5))
+        knn_cost = oracle.stats.query_distances
+        with ShardedIndex(
+            points, metric, LinearScan, n_shards=shards, workers=workers
+        ) as index:
+            assert _signature(index.knn_batch(queries, 5)) == knn_ref
+            assert index.stats.query_distances == knn_cost
+            assert _signature(index.range_batch(queries, 0.35)) == _signature(
+                oracle.range_batch(queries, 0.35)
+            )
+
+    def test_pruning_inner_same_answers(self, string_setup):
+        # Tree inners keep answers exact for any layout; their stats
+        # legitimately differ from the unsharded tree (per-shard pruning),
+        # so only answers are compared here.
+        words, queries, metric = string_setup
+        oracle = LinearScan(words, metric)
+        knn_ref = oracle.knn_batch(queries, 4)
+        range_ref = oracle.range_batch(queries, 1.0)
+        for workers in (None, 2):
+            with ShardedIndex(
+                words, metric, vptree_factory, n_shards=4, workers=workers
+            ) as index:
+                assert index.knn_batch(queries, 4) == knn_ref
+                assert index.range_batch(queries, 1.0) == range_ref
+
+
+class TestBudgetedInvariance:
+    def test_deterministic_across_workers(self, string_setup):
+        words, queries, metric = string_setup
+        factory = partial(DistPermIndex, n_sites=4, site_strategy="first")
+        for shards in SHARD_GRID:
+            reference = None
+            for workers in WORKER_GRID:
+                with ShardedIndex(
+                    words, metric, factory, n_shards=shards, workers=workers
+                ) as index:
+                    answers = index.knn_approx_batch(queries, 3, budget=25)
+                    cost = index.stats.query_distances
+                    single = index.knn_approx(queries[0], 3, budget=25)
+                if reference is None:
+                    reference = (answers, cost)
+                assert (answers, cost) == reference, (shards, workers)
+                assert single == answers[0]
+
+    def test_budget_split_proportional(self, string_setup):
+        words, _, metric = string_setup
+        factory = partial(DistPermIndex, n_sites=4, site_strategy="first")
+        with ShardedIndex(words, metric, factory, n_shards=4) as index:
+            budgets = index._split_budget(3, 40)
+            sizes = [
+                index.shard_offsets[s + 1] - index.shard_offsets[s]
+                for s in range(index.n_shards)
+            ]
+            assert all(
+                b >= min(3, size) for b, size in zip(budgets, sizes)
+            )
+            # Ceiling split: within one of the proportional share.
+            n = len(words)
+            for b, size in zip(budgets, sizes):
+                assert 40 * size / n <= b <= 40 * size / n + 1
+            assert index._split_budget(3, None) == [None] * 4
+
+    def test_full_budget_equals_exact(self, string_setup):
+        words, queries, metric = string_setup
+        factory = partial(DistPermIndex, n_sites=4, site_strategy="first")
+        oracle = LinearScan(words, metric)
+        with ShardedIndex(words, metric, factory, n_shards=4) as index:
+            assert index.knn_approx_batch(
+                queries, 3, budget=len(words)
+            ) == oracle.knn_batch(queries, 3)
+
+
+class TestBuild:
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_build_stats_aggregate(self, string_setup, workers):
+        words, _, metric = string_setup
+        factory = partial(DistPermIndex, n_sites=4, site_strategy="first")
+        with ShardedIndex(
+            words, metric, factory, n_shards=4, workers=workers
+        ) as index:
+            assert index.stats.build_distances == sum(
+                shard.stats.build_distances for shard in index.shards
+            )
+            # Each shard paid its own n_shard x k site matrix.
+            assert index.stats.build_distances == 4 * len(words)
+
+    def test_shard_layout(self, vector_setup):
+        points, _, metric = vector_setup
+        index = ShardedIndex(points, metric, LinearScan, n_shards=3)
+        assert index.n_shards == 3
+        assert index.shard_offsets[0] == 0
+        assert index.shard_offsets[-1] == len(points)
+        for s, shard in enumerate(index.shards):
+            start, stop = index.shard_offsets[s], index.shard_offsets[s + 1]
+            assert np.array_equal(np.asarray(shard.points), points[start:stop])
+
+    def test_more_shards_than_points_capped(self, vector_setup):
+        _, _, metric = vector_setup
+        points = np.random.default_rng(0).random((3, 2))
+        index = ShardedIndex(points, metric, LinearScan, n_shards=10)
+        assert index.n_shards == 3
+
+    def test_invalid_arguments(self, vector_setup):
+        points, _, metric = vector_setup
+        with pytest.raises(ValueError):
+            ShardedIndex(points, metric, LinearScan, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedIndex(points, metric, LinearScan, workers=-2)
+
+    def test_wrap_existing_index(self, vector_setup):
+        points, queries, metric = vector_setup
+        base = LinearScan(points, metric)
+        wrapped = shard_index(base, n_shards=4)
+        assert _signature(wrapped.knn_batch(queries, 5)) == _signature(
+            base.knn_batch(queries, 5)
+        )
+
+    def test_close_idempotent(self, vector_setup):
+        points, queries, metric = vector_setup
+        index = ShardedIndex(
+            points, metric, LinearScan, n_shards=2, workers=1
+        )
+        index.knn_batch(queries[:2], 3)
+        index.close()
+        index.close()
+
+
+class TestShardedSerialization:
+    def test_roundtrip_matches_saved(self, tmp_path, string_setup):
+        words, queries, metric = string_setup
+        factory = partial(DistPermIndex, n_sites=4, site_strategy="first")
+        with ShardedIndex(words, metric, factory, n_shards=3) as index:
+            approx_ref = index.knn_approx_batch(queries, 3, budget=20)
+            knn_ref = index.knn_batch(queries, 3)
+            path = tmp_path / "sharded.npz"
+            save_sharded(path, index)
+            site_ref = [shard.site_indices for shard in index.shards]
+        for workers in (None, 2):
+            loaded = load_sharded(path, words, metric, workers=workers)
+            try:
+                assert loaded.stats.build_distances == 0
+                assert [s.site_indices for s in loaded.shards] == site_ref
+                assert loaded.knn_approx_batch(
+                    queries, 3, budget=20
+                ) == approx_ref
+                assert loaded.knn_batch(queries, 3) == knn_ref
+            finally:
+                loaded.close()
+
+    def test_wrong_database_rejected(self, tmp_path, string_setup):
+        words, _, metric = string_setup
+        factory = partial(DistPermIndex, n_sites=4, site_strategy="first")
+        with ShardedIndex(words, metric, factory, n_shards=2) as index:
+            path = tmp_path / "sharded.npz"
+            save_sharded(path, index)
+        with pytest.raises(ValueError):
+            load_sharded(path, words[:-1], metric)
+        shuffled = list(reversed(words))
+        with pytest.raises(ValueError):
+            load_sharded(path, shuffled, metric)
+
+    def test_non_distperm_shards_rejected(self, tmp_path, vector_setup):
+        points, _, metric = vector_setup
+        with ShardedIndex(points, metric, LinearScan, n_shards=2) as index:
+            with pytest.raises(TypeError):
+                save_sharded(tmp_path / "bad.npz", index)
+
+
+class TestWorkloadRunner:
+    def test_workload_shards_and_workers(self, string_setup):
+        words, queries, metric = string_setup
+        base = LinearScan(words, metric)
+        reference = run_query_workload(base, queries, kind="knn", k=4)
+        for workers, shards in ((None, 4), (2, 4), (2, None)):
+            report = run_query_workload(
+                base, queries, kind="knn", k=4,
+                workers=workers, shards=shards,
+            )
+            assert report.results == reference.results
+            assert (
+                report.distance_evaluations == reference.distance_evaluations
+            )
+            assert report.n_queries == reference.n_queries
+
+    def test_workload_warns_on_lossy_default_rebuild(self, string_setup):
+        words, queries, metric = string_setup
+        base = DistPermIndex(words, metric, n_sites=4, site_strategy="first")
+        with pytest.warns(UserWarning, match="inner_factory"):
+            run_query_workload(base, queries, kind="knn", k=3, shards=2)
+
+    def test_workload_accepts_prebuilt_sharded(self, string_setup):
+        words, queries, metric = string_setup
+        base = LinearScan(words, metric)
+        reference = run_query_workload(base, queries, kind="range", radius=2.0)
+        with ShardedIndex(words, metric, LinearScan, n_shards=3) as index:
+            report = run_query_workload(
+                index, queries, kind="range", radius=2.0, shards=3
+            )
+            assert report.results == reference.results
