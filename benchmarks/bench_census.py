@@ -1,0 +1,317 @@
+"""Bench: the packed permutation-code census engine vs the row-view one.
+
+Measures the census hot path of Tables 2–3 — fold, merge, and the
+per-prefix census — with the code engine (`encode_permutations` +
+integer-keyed :class:`~repro.core.estimate.StreamingCensus`,
+`prefix_permutation_codes` one-sort prefix censuses) against the
+representation it replaced: :class:`RowViewCensus` below, an in-file copy
+of the previous void-row-view ``StreamingCensus`` (np.unique over per-row
+byte views, Python-dict key merging), kept here so the baseline stays
+runnable and its numbers stay in ``BENCH_census.json``.
+
+Workloads: the paper's headline dictionary-Levenshtein database (n=10k,
+k=8 sites — the acceptance workload) and an 8-d Euclidean control with
+k=12.  Distances and permutations are computed once, untimed: the bench
+isolates census/merge/prefix work from the metric kernels measured by
+``bench_metrics.py``.
+
+    PYTHONPATH=src python benchmarks/bench_census.py            # full
+    PYTHONPATH=src python benchmarks/bench_census.py --smoke    # CI sizes
+
+Whenever both engines run (always), the code engine must win the
+combined census+merge time or the bench exits nonzero; the full run
+additionally asserts the >= 5x floor on the dictionary workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.estimate import StreamingCensus  # noqa: E402
+from repro.core.permutation import (  # noqa: E402
+    permutations_from_distances,
+    prefix_permutation_codes,
+)
+from repro.datasets.dictionaries import synthetic_dictionary  # noqa: E402
+from repro.datasets.vectors import uniform_vectors  # noqa: E402
+from repro.metrics import EuclideanDistance, LevenshteinDistance  # noqa: E402
+
+#: Acceptance floor for the dictionary census+merge speedup (full mode).
+REQUIRED_SPEEDUP = 5.0
+#: Partial censuses merged in the merge measurement (a shard layout).
+MERGE_PARTS = 8
+#: Timing repeats (best-of).
+REPEATS = 3
+
+
+class RowViewCensus:
+    """The pre-code-engine ``StreamingCensus``, verbatim: the baseline.
+
+    Rows dedupe through one :func:`np.unique` over a per-row void (byte)
+    view; distinct keys live in a Python dict of row bytes; merging walks
+    the dict key by key.
+    """
+
+    def __init__(self):
+        self._counts = {}
+        self._total = 0
+
+    def update(self, perms):
+        perms = np.asarray(perms)
+        n, k = perms.shape
+        if n == 0:
+            return
+        rows = np.ascontiguousarray(perms.astype(np.int64, copy=False))
+        row_view = rows.view(
+            np.dtype((np.void, rows.dtype.itemsize * k))
+        ).ravel()
+        unique, counts = np.unique(row_view, return_counts=True)
+        for row, count in zip(unique, counts):
+            key = row.tobytes()
+            self._counts[key] = self._counts.get(key, 0) + int(count)
+        self._total += n
+
+    def merge(self, other):
+        counts = self._counts
+        for key, count in other._counts.items():
+            counts[key] = counts.get(key, 0) + count
+        self._total += other._total
+        return self
+
+    @classmethod
+    def merged(cls, censuses):
+        out = cls()
+        for census in censuses:
+            out.merge(census)
+        return out
+
+    @property
+    def distinct(self):
+        return len(self._counts)
+
+    @property
+    def total(self):
+        return self._total
+
+    def frequency_of_frequencies(self):
+        out = {}
+        for count in self._counts.values():
+            out[count] = out.get(count, 0) + 1
+        return out
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _fold(census_cls, perms):
+    # One whole-database update: exactly what the serial census drivers
+    # (Table 2/3, ``sharded_census`` with one shard) feed the census.
+    census = census_cls()
+    census.update(perms)
+    return census
+
+
+def _partials(census_cls, perms):
+    bounds = np.linspace(0, perms.shape[0], MERGE_PARTS + 1).astype(int)
+    parts = []
+    for i in range(MERGE_PARTS):
+        part = census_cls()
+        part.update(perms[bounds[i] : bounds[i + 1]])
+        parts.append(part)
+    return parts
+
+
+def _prefix_rowview(distances, ks):
+    out = {}
+    for k in ks:
+        census = RowViewCensus()
+        census.update(permutations_from_distances(distances[:, :k]))
+        out[k] = census.distinct
+    return out
+
+
+def _prefix_codes(perms, ks):
+    out = {}
+    for k, codes in prefix_permutation_codes(perms, ks).items():
+        census = StreamingCensus()
+        census.update_codes(codes, k, coding="prefix")
+        out[k] = census.distinct
+    return out
+
+
+def run_workload(name, points, metric, n_sites, rng):
+    site_indices = rng.choice(len(points), size=n_sites, replace=False)
+    sites = [points[int(i)] for i in site_indices]
+    distances = metric.to_sites(points, sites)
+    perms = permutations_from_distances(distances)
+    prefix_ks = list(range(3, n_sites + 1))
+
+    row_census, t_row = _best_of(lambda: _fold(RowViewCensus, perms))
+    code_census, t_code = _best_of(lambda: _fold(StreamingCensus, perms))
+    if row_census.distinct != code_census.distinct:
+        raise AssertionError(f"{name}: census engines disagree on distinct")
+    if (
+        row_census.frequency_of_frequencies()
+        != code_census.frequency_of_frequencies()
+    ):
+        raise AssertionError(f"{name}: census engines disagree on spectrum")
+
+    row_parts = _partials(RowViewCensus, perms)
+    code_parts = _partials(StreamingCensus, perms)
+    row_merged, t_row_merge = _best_of(
+        lambda: RowViewCensus.merged(row_parts)
+    )
+    code_merged, t_code_merge = _best_of(
+        lambda: StreamingCensus.merged(code_parts)
+    )
+    if row_merged.distinct != code_merged.distinct:
+        raise AssertionError(f"{name}: merge engines disagree on distinct")
+
+    row_prefix, t_row_prefix = _best_of(
+        lambda: _prefix_rowview(distances, prefix_ks)
+    )
+    code_prefix, t_code_prefix = _best_of(
+        lambda: _prefix_codes(perms, prefix_ks)
+    )
+    if row_prefix != code_prefix:
+        raise AssertionError(f"{name}: prefix censuses disagree")
+
+    combined = (t_row + t_row_merge) / max(1e-12, t_code + t_code_merge)
+    result = {
+        "dataset": name,
+        "n": len(points),
+        "k": n_sites,
+        "distinct": code_census.distinct,
+        "merge_parts": MERGE_PARTS,
+        "census_rowview_s": round(t_row, 5),
+        "census_code_s": round(t_code, 5),
+        "census_speedup": round(t_row / max(1e-12, t_code), 2),
+        "merge_rowview_s": round(t_row_merge, 5),
+        "merge_code_s": round(t_code_merge, 5),
+        "merge_speedup": round(t_row_merge / max(1e-12, t_code_merge), 2),
+        "census_merge_speedup": round(combined, 2),
+        "prefix_ks": prefix_ks,
+        "prefix_rowview_s": round(t_row_prefix, 5),
+        "prefix_code_s": round(t_code_prefix, 5),
+        "prefix_speedup": round(t_row_prefix / max(1e-12, t_code_prefix), 2),
+    }
+    print(
+        f"{name}: census {t_row * 1e3:8.2f} ms rows -> "
+        f"{t_code * 1e3:7.2f} ms codes ({result['census_speedup']}x), "
+        f"merge {result['merge_speedup']}x, "
+        f"census+merge {result['census_merge_speedup']}x, "
+        f"prefix {result['prefix_speedup']}x "
+        f"({result['distinct']} distinct)"
+    )
+    return result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Permutation-code census engine benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: both engines still run and the "
+        "code-faster guard stays armed; skips the 5x floor, writes no "
+        "JSON unless --output is given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"result JSON path (default: {REPO_ROOT / 'BENCH_census.json'})",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(20080415)
+    if args.smoke:
+        workloads = [
+            run_workload(
+                "dictionary-en",
+                synthetic_dictionary("English", 600, rng=rng),
+                LevenshteinDistance(),
+                8,
+                rng,
+            ),
+            run_workload(
+                "uniform-8d", uniform_vectors(2_000, 8, rng),
+                EuclideanDistance(), 8, rng,
+            ),
+        ]
+    else:
+        workloads = [
+            run_workload(
+                "dictionary-en",
+                synthetic_dictionary("English", 10_000, rng=rng),
+                LevenshteinDistance(),
+                8,
+                rng,
+            ),
+            run_workload(
+                "uniform-8d", uniform_vectors(50_000, 8, rng),
+                EuclideanDistance(), 12, rng,
+            ),
+        ]
+
+    report = {
+        "bench": "bench_census",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "workloads": workloads,
+    }
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_census.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    # Guard: armed whenever both engines run — i.e. on every invocation.
+    for workload in workloads:
+        if workload["census_merge_speedup"] <= 1.0:
+            print(
+                f"FAIL: {workload['dataset']} code-engine census+merge "
+                f"{workload['census_merge_speedup']}x is not faster than "
+                f"the row-view baseline"
+            )
+            return 1
+    if not args.smoke:
+        dictionary = workloads[0]
+        if dictionary["census_merge_speedup"] < REQUIRED_SPEEDUP:
+            print(
+                f"FAIL: dictionary census+merge speedup "
+                f"{dictionary['census_merge_speedup']}x < required "
+                f"{REQUIRED_SPEEDUP}x"
+            )
+            return 1
+        print(
+            f"OK: dictionary census+merge speedup "
+            f"{dictionary['census_merge_speedup']}x >= {REQUIRED_SPEEDUP}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

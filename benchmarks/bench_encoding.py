@@ -50,8 +50,9 @@ def test_packed_storage_measured_bytes(benchmark, results_dir):
                 f"  naive bytes (1 B/entry)      : {naive_bytes}",
                 f"  packed ids ({store.bit_width:>2} bits/elt)     : "
                 f"{store.payload_bytes()} B",
-                f"  permutation table            : {store.table.size} entries",
-                f"  total (ids + 1 B/table entry): {store.total_bytes()} B",
+                f"  permutation table            : "
+                f"{store.table_codes.shape[0]} codes",
+                f"  total (ids + 8 B/table code) : {store.total_bytes()} B",
             ]
         ),
     )

@@ -6,7 +6,10 @@ control): sharded index *builds*, batched fan-out/merge *queries*
 (exact kNN through a VP-tree and budgeted kNN through the permutation
 index), and the mergeable permutation *census* of Tables 2–3 — each
 serial versus a 4-worker process pool over the same shard layout, with
-an answer-equality check against the unsharded index on every run.
+an answer-equality check against the unsharded index on every run.  The
+dictionary workload additionally records a recall-versus-budget curve
+for ``knn_approx`` — unsharded versus sharded, quantifying what the
+per-shard budget split costs in recall at equal total budget.
 
 Results go to ``BENCH_parallel.json`` with the machine's CPU count
 recorded alongside: process-pool speedup tracks physical cores, so the
@@ -50,6 +53,9 @@ from repro.parallel import get_executor, sharded_census  # noqa: E402
 REQUIRED_SPEEDUP = 2.0
 WORKERS = 4
 SHARDS = 4
+#: Budgets for the knn_approx recall-versus-budget curve.
+RECALL_BUDGETS = (100, 250, 500, 1000, 2000)
+RECALL_BUDGETS_SMOKE = (25, 50, 100, 200)
 
 
 def _timed(fn):
@@ -140,7 +146,45 @@ def _bench_census(points, metric, sites, workers):
     }
 
 
-def run_dictionary_workload(n, n_queries, workers, rng):
+def _bench_recall(points, metric, queries, exact_results, k, budgets):
+    """Recall-versus-budget for ``knn_approx``, unsharded versus sharded.
+
+    The sharded index splits each query's budget proportionally across
+    its shards (ceil per shard), which changes the candidate set and
+    hence the recall/budget trade-off relative to one global footrule
+    ranking over the whole database — this curve quantifies that cost.
+    Recall is measured against the exact kNN answer; shards run serially
+    (recall depends on the shard layout, not the worker count).
+    """
+    exact_ids = [{neighbor.index for neighbor in row} for row in exact_results]
+    inner = partial(DistPermIndex, n_sites=12, site_strategy="first")
+    unsharded = DistPermIndex(points, metric, n_sites=12,
+                              site_strategy="first")
+
+    def mean_recall(results):
+        hits = [
+            len({neighbor.index for neighbor in row} & ids) / max(1, len(ids))
+            for row, ids in zip(results, exact_ids)
+        ]
+        return round(float(np.mean(hits)), 4)
+
+    curve = []
+    with ShardedIndex(points, metric, inner, n_shards=SHARDS,
+                      workers=None) as sharded:
+        for budget in budgets:
+            curve.append({
+                "budget": budget,
+                "recall_unsharded": mean_recall(
+                    unsharded.knn_approx_batch(queries, k, budget=budget)
+                ),
+                "recall_sharded": mean_recall(
+                    sharded.knn_approx_batch(queries, k, budget=budget)
+                ),
+            })
+    return curve
+
+
+def run_dictionary_workload(n, n_queries, workers, rng, recall_budgets):
     """The acceptance workload: synthetic English words, Levenshtein."""
     words = synthetic_dictionary("English", n, rng=rng)
     picks = rng.choice(n, size=n_queries, replace=False)
@@ -148,7 +192,8 @@ def run_dictionary_workload(n, n_queries, workers, rng):
     metric = LevenshteinDistance()
 
     baseline = LinearScan(words, metric)
-    knn_ref = _signature(baseline.knn_batch(queries, 10))
+    exact_results = baseline.knn_batch(queries, 10)
+    knn_ref = _signature(exact_results)
 
     configs = [
         _bench_sharded(
@@ -170,6 +215,9 @@ def run_dictionary_workload(n, n_queries, workers, rng):
         "workers": workers,
         "configs": configs,
         "census": _bench_census(words, metric, sites, workers),
+        "recall_curve": _bench_recall(
+            words, metric, queries, exact_results, 10, recall_budgets
+        ),
     }
 
 
@@ -227,12 +275,14 @@ def main(argv=None):
         executor.map(len, [((),)])
     if args.smoke:
         workloads = [
-            run_dictionary_workload(400, 40, workers, rng),
+            run_dictionary_workload(400, 40, workers, rng,
+                                    RECALL_BUDGETS_SMOKE),
             run_vector_workload(2_000, 100, workers, rng),
         ]
     else:
         workloads = [
-            run_dictionary_workload(10_000, 500, workers, rng),
+            run_dictionary_workload(10_000, 500, workers, rng,
+                                    RECALL_BUDGETS),
             run_vector_workload(50_000, 1_000, workers, rng),
         ]
 
@@ -266,6 +316,12 @@ def main(argv=None):
             f"{workload['dataset']}/census: {census['census_speedup']}x "
             f"({census['distinct']} distinct)"
         )
+        for point in workload.get("recall_curve", ()):
+            print(
+                f"{workload['dataset']}/recall@budget={point['budget']}: "
+                f"unsharded {point['recall_unsharded']}, "
+                f"sharded {point['recall_sharded']}"
+            )
 
     if not args.smoke:
         cpus = os.cpu_count() or 1

@@ -54,14 +54,19 @@ from repro.core.dimension import (
     sample_distances,
 )
 from repro.core.permutation import (
+    MAX_CODE_SITES,
     count_distinct_permutations,
+    decode_permutations,
     distance_permutation,
     distance_permutations,
     distinct_permutations,
+    encode_permutations,
     inverse_permutation,
     kendall_tau,
+    permutation_code_dtype,
     permutation_rank,
     permutation_unrank,
+    prefix_permutation_codes,
     spearman_footrule,
     spearman_rho,
 )
@@ -88,9 +93,14 @@ from repro.core.voronoi import (
 
 __all__ = [
     "EntropyReport",
+    "MAX_CODE_SITES",
     "PackedPermutationStore",
     "StorageReport",
     "StreamingCensus",
+    "decode_permutations",
+    "encode_permutations",
+    "permutation_code_dtype",
+    "prefix_permutation_codes",
     "chao1_estimate",
     "sampled_census_estimate",
     "arrangement_census",

@@ -14,6 +14,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.core.permutation import decode_permutations, encode_permutations
 from repro.core.storage import bits_for_count
 
 __all__ = ["pack_ids", "unpack_ids", "PackedPermutationStore"]
@@ -66,14 +67,19 @@ def unpack_ids(data: bytes, bit_width: int, count: int) -> np.ndarray:
 
 @dataclass
 class PackedPermutationStore:
-    """A permutation table plus bit-packed per-element ids.
+    """A permutation-code table plus bit-packed per-element ids.
 
     This is the index representation the paper's counting results
-    justify: the table holds each realized permutation once; elements
-    store only ``ceil(log2 N)``-bit ids into it.
+    justify: the table holds the Lehmer code
+    (:func:`~repro.core.permutation.encode_permutations`) of each
+    realized permutation once — 8 bytes per realized permutation instead
+    of a ``k``-column row — and elements store only ``ceil(log2 N)``-bit
+    ids into it.  Because Lehmer codes sort lexicographically, the code
+    table enumerates exactly the same order as the old row table.
     """
 
-    table: np.ndarray  # (N, k) distinct permutations
+    table_codes: np.ndarray  # (N,) sorted codes of the distinct permutations
+    k: int
     packed: bytes
     bit_width: int
     count: int
@@ -84,14 +90,28 @@ class PackedPermutationStore:
         perms = np.asarray(perms)
         if perms.ndim != 2:
             raise ValueError(f"expected (n, k) matrix, got {perms.shape}")
-        table, ids = np.unique(perms, axis=0, return_inverse=True)
-        bit_width = bits_for_count(table.shape[0])
+        return cls.from_codes(encode_permutations(perms), perms.shape[1])
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, k: int) -> "PackedPermutationStore":
+        """Build from already-encoded permutations (the index hot path)."""
+        codes = np.asarray(codes)
+        if codes.ndim != 1:
+            raise ValueError(f"expected a 1-d code array, got {codes.shape}")
+        table_codes, ids = np.unique(codes, return_inverse=True)
+        bit_width = bits_for_count(table_codes.shape[0])
         return cls(
-            table=table,
+            table_codes=table_codes,
+            k=int(k),
             packed=pack_ids(ids, bit_width),
             bit_width=bit_width,
-            count=perms.shape[0],
+            count=codes.shape[0],
         )
+
+    @property
+    def table(self) -> np.ndarray:
+        """The decoded ``(N, k)`` table of distinct permutations."""
+        return decode_permutations(self.table_codes, self.k)
 
     def ids(self) -> np.ndarray:
         """Recover the per-element table ids."""
@@ -106,24 +126,38 @@ class PackedPermutationStore:
         if not 0 <= index < self.count:
             raise IndexError(index)
         if self.bit_width == 0:
-            return tuple(int(v) for v in self.table[0])
-        start = index * self.bit_width
-        stop = start + self.bit_width
-        first_byte, first_bit = divmod(start, 8)
-        last_byte = (stop + 7) // 8
-        chunk = int.from_bytes(
-            self.packed[first_byte:last_byte], byteorder="little"
-        )
-        table_id = (chunk >> first_bit) & ((1 << self.bit_width) - 1)
-        return tuple(int(v) for v in self.table[table_id])
+            table_id = 0
+        else:
+            start = index * self.bit_width
+            stop = start + self.bit_width
+            first_byte, first_bit = divmod(start, 8)
+            last_byte = (stop + 7) // 8
+            chunk = int.from_bytes(
+                self.packed[first_byte:last_byte], byteorder="little"
+            )
+            table_id = (chunk >> first_bit) & ((1 << self.bit_width) - 1)
+        row = decode_permutations(
+            self.table_codes[table_id : table_id + 1], self.k
+        )[0]
+        return tuple(int(v) for v in row)
 
     def payload_bytes(self) -> int:
         """Measured bytes for the per-element ids alone."""
         return len(self.packed)
 
     def total_bytes(self) -> int:
-        """Measured bytes including the permutation table."""
-        return len(self.packed) + self.table.size  # one byte per entry (k <= 255)
+        """Measured bytes including the table of realized permutations.
+
+        Inside the uint64 window each table entry is one 8-byte code;
+        past it (object codes have no fixed-width representation) the
+        realizable table is the row matrix at the narrowest integer
+        width, and that is what gets charged.
+        """
+        if self.table_codes.dtype == np.dtype(np.uint64):
+            per_entry = 8
+        else:
+            per_entry = self.k * (1 if self.k <= 1 << 8 else 2)
+        return len(self.packed) + self.table_codes.shape[0] * per_entry
 
     def __len__(self) -> int:
         return self.count

@@ -16,37 +16,92 @@ databases that do not fit in memory two standard tools apply:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.permutation import permutations_from_distances
+from repro.core.permutation import (
+    encode_permutations,
+    permutations_from_distances,
+)
 from repro.metrics.base import Metric
 
 __all__ = ["StreamingCensus", "chao1_estimate", "sampled_census_estimate"]
 
 
+def _collapse_sorted(
+    codes: np.ndarray, counts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum counts of equal adjacent codes in a sorted ``(code, count)`` run."""
+    if codes.shape[0] == 0:
+        return codes, counts
+    boundaries = np.empty(codes.shape[0], dtype=bool)
+    boundaries[0] = True
+    boundaries[1:] = codes[1:] != codes[:-1]
+    starts = np.flatnonzero(boundaries)
+    return codes[starts], np.add.reduceat(counts, starts)
+
+
+def _merge_sorted(
+    codes_a: np.ndarray,
+    counts_a: np.ndarray,
+    codes_b: np.ndarray,
+    counts_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two sorted ``(code, count)`` runs into one, summing duplicates.
+
+    ``kind="stable"`` is a mergesort, which detects the two presorted runs
+    and merges them in linear time.
+    """
+    codes = np.concatenate([codes_a, codes_b])
+    counts = np.concatenate([counts_a, counts_b])
+    order = np.argsort(codes, kind="stable")
+    return _collapse_sorted(codes[order], counts[order])
+
+
 class StreamingCensus:
     """Exact unique-permutation counting over streamed batches.
 
-    Memory is proportional to the number of distinct permutations seen —
-    by the paper's results ``O(min(n, N_{d,p}(k)))`` — never to the number
-    of points processed.
+    The census is keyed on *permutation codes*
+    (:func:`~repro.core.permutation.encode_permutations`): one integer per
+    permutation, held as a sorted 1-D ``uint64`` array (an ``object``
+    array of exact Python ints past ``k = 20``) with an aligned ``int64``
+    count array.  Dedup is one integer :func:`np.unique` instead of a
+    byte-row sort, and merging is a linear merge of sorted runs — no
+    Python-level per-key work anywhere.  Memory is proportional to the
+    number of distinct permutations seen — by the paper's results
+    ``O(min(n, N_{d,p}(k)))`` — never to the number of points processed.
+
+    Rows folded into one census must share a width ``k``, and censuses
+    only merge when built from the same code family (``"lehmer"`` for
+    :meth:`update`, ``"prefix"`` for the sharded prefix-census driver);
+    mixing either raises instead of silently conflating code spaces.
     """
 
     def __init__(self) -> None:
-        self._counts: Dict[bytes, int] = {}
+        self._codes: Optional[np.ndarray] = None
+        self._counts: Optional[np.ndarray] = None
+        self._k: Optional[int] = None
+        self._coding: Optional[str] = None
         self._total = 0
+
+    def _check_key(self, k: int, coding: str) -> None:
+        if self._k is None:
+            self._k, self._coding = k, coding
+        elif (self._k, self._coding) != (k, coding):
+            raise ValueError(
+                f"census keyed on {self._coding!r} codes of width "
+                f"{self._k} cannot absorb {coding!r} codes of width {k}"
+            )
 
     def update(self, perms: np.ndarray) -> None:
         """Fold one ``(n, k)`` batch of permutations into the census.
 
-        Rows are normalized to contiguous ``int64`` and deduplicated with
-        one :func:`np.unique` over a per-row void view — a single sort of
-        ``n`` fixed-width byte rows instead of ``np.unique(axis=0)``'s
-        column-lexicographic sort — so Python-level work is proportional
-        to the number of *distinct* permutations in the batch (small, by
-        the paper's counting results), not to ``n``.
+        Rows must be permutations of ``0..k-1`` (out-of-range values
+        raise; in-row duplicates are undetected — codes are injective
+        only on genuine permutations).  Each row is encoded to one
+        integer, the batch deduplicated with a flat :func:`np.unique`,
+        and the ``(code, count)`` run merged into the sorted state.
         """
         perms = np.asarray(perms)
         if perms.ndim != 2:
@@ -54,19 +109,34 @@ class StreamingCensus:
         n, k = perms.shape
         if n == 0:
             return
-        if k == 0:
-            self._counts[b""] = self._counts.get(b"", 0) + n
-            self._total += n
+        self.update_codes(encode_permutations(perms), k)
+
+    def update_codes(
+        self, codes: np.ndarray, k: int, *, coding: str = "lehmer"
+    ) -> None:
+        """Fold a batch of already-encoded permutations into the census.
+
+        The code hot path: shard workers and benchmarks encode once and
+        feed the 1-D array straight in.  ``coding`` names the code family
+        (``"lehmer"`` from :func:`encode_permutations`, ``"prefix"`` from
+        :func:`~repro.core.permutation.prefix_permutation_codes`) so
+        incompatible censuses refuse to merge.
+        """
+        codes = np.asarray(codes)
+        if codes.ndim != 1:
+            raise ValueError(f"expected a 1-d code array, got {codes.shape}")
+        if codes.shape[0] == 0:
             return
-        rows = np.ascontiguousarray(perms.astype(np.int64, copy=False))
-        row_view = rows.view(
-            np.dtype((np.void, rows.dtype.itemsize * k))
-        ).ravel()
-        unique, counts = np.unique(row_view, return_counts=True)
-        for row, count in zip(unique, counts):
-            key = row.tobytes()
-            self._counts[key] = self._counts.get(key, 0) + int(count)
-        self._total += n
+        self._check_key(int(k), coding)
+        unique, counts = np.unique(codes, return_counts=True)
+        counts = counts.astype(np.int64, copy=False)
+        if self._codes is None:
+            self._codes, self._counts = unique, counts
+        else:
+            self._codes, self._counts = _merge_sorted(
+                self._codes, self._counts, unique, counts
+            )
+        self._total += codes.shape[0]
 
     def update_points(
         self, points: Sequence, sites: Sequence, metric: Metric
@@ -79,43 +149,89 @@ class StreamingCensus:
         """Fold another census into this one, in place; returns ``self``.
 
         Censuses are exactly mergeable: each is a multiset of permutation
-        keys, so merging sums occurrence counts key by key.  A census of a
-        whole database equals the merge of censuses over any partition of
-        it — the property the sharded census driver relies on.  Keys are
-        raw ``int64`` row bytes, so merging is only meaningful between
-        censuses built on the same machine architecture (the parallel
-        driver's workers always are).
+        codes, so merging sums occurrence counts code by code — a linear
+        merge of two sorted runs.  A census of a whole database equals
+        the merge of censuses over any partition of it — the property the
+        sharded census driver relies on.  Both censuses must hold the
+        same code family and width (:meth:`update_codes`).
         """
         if other is self:
             raise ValueError("cannot merge a census into itself")
-        counts = self._counts
-        for key, count in other._counts.items():
-            counts[key] = counts.get(key, 0) + count
+        if other._codes is not None:
+            self._check_key(other._k, other._coding)
+            if self._codes is None:
+                self._codes = other._codes.copy()
+                self._counts = other._counts.copy()
+            else:
+                self._codes, self._counts = _merge_sorted(
+                    self._codes, self._counts, other._codes, other._counts
+                )
         self._total += other._total
         return self
 
     @classmethod
     def merged(cls, censuses: Iterable["StreamingCensus"]) -> "StreamingCensus":
-        """Merge any number of partial censuses into a fresh one."""
+        """Merge any number of partial censuses into a fresh one.
+
+        A true k-way merge: every partial's sorted ``(code, count)`` run
+        is concatenated once and collapsed with a single mergesort pass,
+        instead of pairwise re-merging census by census.
+        """
         out = cls()
+        code_runs, count_runs = [], []
         for census in censuses:
-            out.merge(census)
+            out._total += census._total
+            if census._codes is None:
+                continue
+            out._check_key(census._k, census._coding)
+            code_runs.append(census._codes)
+            count_runs.append(census._counts)
+        if code_runs:
+            codes = np.concatenate(code_runs)
+            counts = np.concatenate(count_runs)
+            order = np.argsort(codes, kind="stable")
+            out._codes, out._counts = _collapse_sorted(
+                codes[order], counts[order]
+            )
         return out
 
     @property
     def distinct(self) -> int:
-        return len(self._counts)
+        return 0 if self._codes is None else int(self._codes.shape[0])
 
     @property
     def total(self) -> int:
         return self._total
 
+    @property
+    def k(self) -> Optional[int]:
+        """Permutation width of the folded batches (None before any)."""
+        return self._k
+
+    @property
+    def coding(self) -> Optional[str]:
+        """Code family the census is keyed on (None before any batch)."""
+        return self._coding
+
+    @property
+    def codes(self) -> Optional[np.ndarray]:
+        """Sorted distinct permutation codes (read-only view; no copy)."""
+        return self._codes
+
+    @property
+    def counts(self) -> Optional[np.ndarray]:
+        """Occurrence counts aligned with :attr:`codes`."""
+        return self._counts
+
     def frequency_of_frequencies(self) -> Dict[int, int]:
         """Return ``{occurrence count: number of permutations}``."""
-        out: Dict[int, int] = {}
-        for count in self._counts.values():
-            out[count] = out.get(count, 0) + 1
-        return out
+        if self._counts is None:
+            return {}
+        values, frequencies = np.unique(self._counts, return_counts=True)
+        return {
+            int(value): int(frequency)
+            for value, frequency in zip(values, frequencies)
+        }
 
     def chao1(self) -> float:
         """Chao1 estimate of the total realizable permutations."""

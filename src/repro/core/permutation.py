@@ -10,23 +10,40 @@ Tie-breaking is implemented with a *stable* argsort, which reproduces the
 paper's rule exactly: among equal distances, the lower site index comes
 first.  This matters for discrete metrics such as edit distance where ties
 are pervasive.
+
+The codec half of this module packs permutations into integer *codes*:
+:func:`encode_permutations` / :func:`decode_permutations` are batch
+Lehmer rank/unrank kernels (one ``uint64`` per permutation for
+``k <= MAX_CODE_SITES``, since ``20! < 2**64``; exact arbitrary-precision
+Python ints in an object array beyond that), and
+:func:`prefix_permutation_codes` derives, from a single full-width
+argsort, an injective code for the distance permutation of *every* site
+prefix at once.  Codes are what the census, the sharded drivers, and the
+serialized index payloads operate on — dedup, merge, and IPC become flat
+1-D integer operations instead of row-matrix ones.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.metrics.base import Metric
 
 __all__ = [
+    "MAX_CODE_SITES",
     "distance_permutation",
     "distance_permutations",
     "permutations_from_distances",
     "count_distinct_permutations",
     "distinct_permutations",
+    "encode_permutations",
+    "decode_permutations",
+    "permutation_code_dtype",
+    "compact_position_dtype",
+    "prefix_permutation_codes",
     "inverse_permutation",
     "permutation_positions",
     "footrule_matrix",
@@ -38,6 +55,9 @@ __all__ = [
     "kendall_tau",
     "is_permutation",
 ]
+
+#: Largest ``k`` whose Lehmer ranks fit a ``uint64``: ``20! < 2**64 <= 21!``.
+MAX_CODE_SITES = 20
 
 
 def permutations_from_distances(distances: np.ndarray) -> np.ndarray:
@@ -101,37 +121,274 @@ def inverse_permutation(perm: Sequence[int]) -> Tuple[int, ...]:
     return tuple(inv)
 
 
+#: ``np.bitwise_count`` (numpy >= 2.0) drives the O(n k) bitmask kernels;
+#: older numpy falls back to a column-loop with O(n k^2 / 2) comparisons.
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def permutation_code_dtype(k: int) -> np.dtype:
+    """The dtype :func:`encode_permutations` emits for width ``k``.
+
+    ``uint64`` while every rank fits (``k <= MAX_CODE_SITES``), Python
+    ints in an ``object`` array beyond — the transparent
+    arbitrary-precision fallback.
+    """
+    return np.dtype(np.uint64) if k <= MAX_CODE_SITES else np.dtype(object)
+
+
+def _earlier_smaller_counts(
+    block: np.ndarray, values_below: int
+) -> np.ndarray:
+    """``C[r, i] = #{j < i : block[r, j] < block[r, i]}``, no per-row loops.
+
+    The workhorse of both code kernels.  With ``np.bitwise_count`` a
+    running per-row bitmask of seen values makes this ``k`` passes of
+    O(n) work: the count is the popcount of the mask below the current
+    value.  ``values_below`` bounds the entries (exclusive); beyond 64 —
+    or on numpy without ``bitwise_count`` — the column-at-a-time
+    comparison loop takes over.
+    """
+    n, k = block.shape
+    counts = np.empty_like(block)
+    if _HAVE_BITWISE_COUNT and values_below <= 64:
+        seen = np.zeros(n, dtype=np.uint64)
+        one = np.uint64(1)
+        for i in range(k):
+            bit = one << block[:, i].astype(np.uint64)
+            counts[:, i] = np.bitwise_count(seen & (bit - one))
+            seen |= bit
+        return counts
+    counts[:, :1] = 0
+    for i in range(1, k):
+        counts[:, i] = (block[:, :i] < block[:, i : i + 1]).sum(axis=1)
+    return counts
+
+
+def encode_permutations(
+    perms: np.ndarray, *, dtype: Optional[np.dtype] = None
+) -> np.ndarray:
+    """Batch Lehmer rank: one integer code per row of ``(n, k)`` ``perms``.
+
+    Codes are the lexicographic ranks in ``0 .. k!-1`` — exactly
+    :func:`permutation_rank` per row, vectorized with no per-row Python
+    loops, and therefore *order-preserving*: sorting codes sorts the
+    permutations lexicographically.  For ``k <= MAX_CODE_SITES`` the
+    result is a ``uint64`` array; beyond that an ``object`` array of
+    exact Python ints (the transparent fallback).  Passing
+    ``dtype=np.uint64`` pins the packed path and raises ``ValueError``
+    for ``k > MAX_CODE_SITES`` instead of overflowing silently.
+
+    Rows must be permutations of ``0..k-1``; values outside that range
+    raise, but duplicate values within a row are not detected (Lehmer
+    ranks are only injective on genuine permutations).
+    """
+    perms = np.asarray(perms)
+    if perms.ndim == 1:
+        perms = perms.reshape(1, -1)
+    if perms.ndim != 2:
+        raise ValueError(f"expected (n, k) permutation matrix, got {perms.shape}")
+    n, k = perms.shape
+    if dtype is not None and np.dtype(dtype) not in (
+        np.dtype(np.uint64),
+        np.dtype(object),
+    ):
+        raise ValueError(f"codes are uint64 or object, not {np.dtype(dtype)}")
+    use_uint64 = (
+        k <= MAX_CODE_SITES
+        if dtype is None
+        else np.dtype(dtype) == np.dtype(np.uint64)
+    )
+    if use_uint64 and k > MAX_CODE_SITES:
+        raise ValueError(
+            f"uint64 codes overflow for k={k}: {MAX_CODE_SITES}! is the "
+            f"largest factorial below 2**64 (omit dtype= for the "
+            f"arbitrary-precision object fallback)"
+        )
+    if n == 0 or k == 0:
+        return np.zeros(n, dtype=np.uint64 if use_uint64 else object)
+    block = np.ascontiguousarray(perms, dtype=np.int64)
+    if block.min() < 0 or block.max() >= k:
+        raise ValueError(f"permutation entries must lie in 0..{k - 1}")
+    # Lehmer digit i = perm[i] - #{j < i : perm[j] < perm[i]}, folded
+    # into the factorial-base rank by a Horner sweep over the columns.
+    if use_uint64 and _HAVE_BITWISE_COUNT:
+        # Fused digit + Horner pass: a running per-row bitmask of seen
+        # values turns the digit into one popcount, k O(n) passes total.
+        seen = np.zeros(n, dtype=np.uint64)
+        codes = np.zeros(n, dtype=np.uint64)
+        one = np.uint64(1)
+        for i in range(k):
+            value = block[:, i].astype(np.uint64)
+            bit = one << value
+            codes *= np.uint64(k - i)
+            codes += value
+            codes -= np.bitwise_count(seen & (bit - one))
+            seen |= bit
+        return codes
+    digits = block - _earlier_smaller_counts(block, k)
+    if use_uint64:
+        codes = np.zeros(n, dtype=np.uint64)
+        for i in range(k):
+            codes *= np.uint64(k - i)
+            codes += digits[:, i].astype(np.uint64)
+        return codes
+    codes = np.zeros(n, dtype=object)
+    for i in range(k):
+        codes = codes * (k - i) + digits[:, i].astype(object)
+    return codes
+
+
+def decode_permutations(codes: np.ndarray, k: int) -> np.ndarray:
+    """Batch Lehmer unrank: the ``(n, k)`` matrix behind a code array.
+
+    Inverse of :func:`encode_permutations` — ``decode(encode(P), k) == P``
+    — vectorized with no per-row Python loops.  Codes must lie in
+    ``0 .. k!-1`` (out-of-range codes raise, making corrupt serialized
+    payloads loud).  For ``k > MAX_CODE_SITES`` the codes must arrive in
+    an ``object`` array: a ``uint64`` (or any fixed-width) array cannot
+    represent every rank at such widths, so feeding one raises
+    ``ValueError`` rather than decoding a silently truncated code space.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 1:
+        raise ValueError(f"expected a 1-d code array, got shape {codes.shape}")
+    if k < 0:
+        raise ValueError("k must be nonnegative")
+    n = codes.shape[0]
+    use_uint64 = codes.dtype != np.dtype(object)
+    if use_uint64 and k > MAX_CODE_SITES:
+        raise ValueError(
+            f"fixed-width codes cannot span k={k} > {MAX_CODE_SITES} "
+            f"(pass an object array of Python ints)"
+        )
+    if k == 0:
+        if n and codes.max() != 0:
+            raise ValueError("the empty permutation has code 0")
+        return np.empty((n, 0), dtype=np.int64)
+    if n == 0:
+        return np.empty((0, k), dtype=np.int64)
+    if use_uint64:
+        if np.issubdtype(codes.dtype, np.signedinteger) and codes.min() < 0:
+            raise ValueError("codes must be nonnegative")
+        rem = codes.astype(np.uint64)
+        top = math.factorial(k)
+        if top <= np.iinfo(np.uint64).max and int(rem.max()) >= top:
+            raise ValueError(f"code {int(rem.max())} out of range for k={k}")
+        digits = np.empty((n, k), dtype=np.int64)
+        for i in range(k):
+            quotient = np.uint64(math.factorial(k - 1 - i))
+            digits[:, i] = rem // quotient
+            rem = rem % quotient
+    else:
+        rem = codes.astype(object)
+        if any(not 0 <= c < math.factorial(k) for c in rem):
+            raise ValueError(f"object codes out of range for k={k}")
+        digits = np.empty((n, k), dtype=np.int64)
+        for i in range(k):
+            quotient = math.factorial(k - 1 - i)
+            digits[:, i] = (rem // quotient).astype(np.int64)
+            rem = rem % quotient
+    # Lehmer digits -> permutation: walking right to left, every later
+    # value >= the current digit shifts up by one (the vacated slot).
+    perms = digits
+    for i in range(k - 2, -1, -1):
+        tail = perms[:, i + 1 :]
+        tail += tail >= perms[:, i : i + 1]
+    return perms
+
+
+def prefix_permutation_codes(
+    perms: np.ndarray, ks: Sequence[int]
+) -> Dict[int, np.ndarray]:
+    """Codes of the distance permutation of every requested site prefix.
+
+    ``perms`` is the full ``(n, k_max)`` matrix from one stable argsort of
+    all site distances.  Because the permutation of the first ``j`` sites
+    is the *restriction* of the full permutation to values ``< j`` (stable
+    tie-breaking survives restriction), every prefix census falls out of
+    this single sort: no per-prefix re-argsort, no per-prefix re-encode.
+
+    Returns ``{j: codes}`` for each ``j`` in ``ks``, where two points get
+    equal codes at ``j`` iff their first-``j``-sites permutations are
+    equal.  The codes are mixed-radix *insertion* codes — the digit for
+    site ``m`` is its rank among sites ``0..m`` — which extend from one
+    prefix to the next by a single multiply-add; they are injective per
+    width but are **not** the lexicographic Lehmer ranks of
+    :func:`encode_permutations` (censuses keyed on the two code families
+    must not be merged; :class:`~repro.core.estimate.StreamingCensus`
+    enforces this).
+    """
+    perms = np.asarray(perms)
+    if perms.ndim != 2:
+        raise ValueError(f"expected (n, k) permutation matrix, got {perms.shape}")
+    n, k_max = perms.shape
+    widths = sorted({int(j) for j in ks})
+    if widths and not 0 <= widths[0] <= widths[-1] <= k_max:
+        raise ValueError(f"prefix widths must lie in [0, {k_max}]")
+    out: Dict[int, np.ndarray] = {}
+    if not widths:
+        return out
+    top = widths[-1]
+    use_uint64 = top <= MAX_CODE_SITES
+    running = np.zeros(n, dtype=np.uint64 if use_uint64 else object)
+    for j in widths:
+        if j <= 1:
+            out[j] = running.copy()
+    if top <= 1:
+        return out
+    positions = np.ascontiguousarray(
+        permutation_positions(perms)[:, :top], dtype=np.int64
+    )
+    # digits[:, m] = rank of site m among sites 0..m by distance =
+    # #{s < m : pos[s] < pos[m]}; positions are ranks in the *full*
+    # ordering, so they are bounded by k_max, not the prefix width.
+    digits = _earlier_smaller_counts(positions, k_max)
+    wanted = set(widths)
+    for m in range(2, top + 1):
+        if use_uint64:
+            running = running * np.uint64(m) + digits[:, m - 1].astype(
+                np.uint64
+            )
+        else:
+            running = running * m + digits[:, m - 1].astype(object)
+        if m in wanted:
+            out[m] = running if m == top else running.copy()
+    return out
+
+
 def permutation_rank(perm: Sequence[int]) -> int:
     """Return the lexicographic rank (Lehmer code) of a permutation.
 
     The rank is in ``0 .. k!-1``; together with :func:`permutation_unrank`
     it gives the ``ceil(log2 k!)``-bit packing used as the storage baseline
     against which the paper's permutation-table encoding is compared.
+    Delegates to the vectorized codec (:func:`encode_permutations`), so
+    the result is an exact Python int at every ``k`` — ``uint64``
+    arithmetic while ranks fit, arbitrary precision beyond.
     """
     perm = list(perm)
     k = len(perm)
     if not is_permutation(perm):
         raise ValueError(f"{perm!r} is not a permutation of 0..{k - 1}")
-    rank = 0
-    remaining = list(range(k))
-    for i, value in enumerate(perm):
-        position = remaining.index(value)
-        rank += position * math.factorial(k - 1 - i)
-        remaining.pop(position)
-    return rank
+    return int(encode_permutations(np.asarray(perm, dtype=np.int64))[0])
 
 
 def permutation_unrank(rank: int, k: int) -> Tuple[int, ...]:
-    """Return the permutation of ``0..k-1`` with the given lexicographic rank."""
+    """Return the permutation of ``0..k-1`` with the given lexicographic rank.
+
+    Delegates to :func:`decode_permutations` — the ``uint64`` kernel for
+    ``k <= MAX_CODE_SITES``, the arbitrary-precision object path beyond —
+    so large ranks never silently overflow.
+    """
+    rank = int(rank)
     if not 0 <= rank < math.factorial(k):
         raise ValueError(f"rank {rank} out of range for k={k}")
-    remaining = list(range(k))
-    perm = []
-    for i in range(k):
-        quotient = math.factorial(k - 1 - i)
-        position, rank = divmod(rank, quotient)
-        perm.append(remaining.pop(position))
-    return tuple(perm)
+    codes = (
+        np.array([rank], dtype=np.uint64)
+        if k <= MAX_CODE_SITES
+        else np.array([rank], dtype=object)
+    )
+    return tuple(int(v) for v in decode_permutations(codes, k)[0])
 
 
 def _positions(perm: Sequence[int]) -> np.ndarray:
@@ -202,15 +459,41 @@ def footrule_matrix(perms: np.ndarray, query_perm: Sequence[int]) -> np.ndarray:
 
 
 #: Cap on the ``queries x points x sites`` intermediate of one batched
-#: footrule chunk (~32 MB of int64 at the default).
+#: footrule chunk (~4 MB per uint8 scratch buffer at the default).
 _FOOTRULE_CHUNK_ELEMENTS = 4_194_304
 
 
+def compact_position_dtype(k: int) -> np.dtype:
+    """Narrowest unsigned dtype holding ranks ``0..k-1``.
+
+    ``uint8`` covers every width the code engine packs (``k <= 20``) with
+    room to spare; indexes cache their rank-position matrix in this dtype
+    so batched footrule never touches anything wider than it must.
+    """
+    if k <= 1 << 8:
+        return np.dtype(np.uint8)
+    if k <= 1 << 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int64)
+
+
+def _workspace_buffer(workspace, key, shape, dtype):
+    """A reusable scratch array: fresh when no workspace dict is passed."""
+    if workspace is None:
+        return np.empty(shape, dtype)
+    buffer = workspace.get(key)
+    if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+        buffer = np.empty(shape, dtype)
+        workspace[key] = buffer
+    return buffer
+
+
 def footrule_matrix_batch(
-    perms: np.ndarray,
+    perms: Optional[np.ndarray],
     query_perms: np.ndarray,
     *,
     positions: Optional[np.ndarray] = None,
+    workspace: Optional[dict] = None,
 ) -> np.ndarray:
     """Footrule of every stored permutation against every query permutation.
 
@@ -219,28 +502,43 @@ def footrule_matrix_batch(
     computation is chunked over queries so the three-dimensional
     intermediate stays below ``_FOOTRULE_CHUNK_ELEMENTS`` entries; pass a
     precomputed ``positions = permutation_positions(perms)`` to skip
-    re-inverting the stored permutations on every call.
+    re-inverting the stored permutations on every call (``perms`` may
+    then be ``None`` — the code-backed index stores only positions).
+    Ranks travel in the narrowest unsigned dtype
+    (:func:`compact_position_dtype`), with ``|a - b|`` computed as
+    ``max - min`` so unsigned subtraction can never wrap; passing a
+    ``workspace`` dict reuses the chunk scratch buffers across calls
+    instead of reallocating them per batch.
     """
     if positions is None:
+        if perms is None:
+            raise ValueError("need perms when positions is not supplied")
         positions = permutation_positions(perms)
     query_positions = permutation_positions(query_perms)
     n, k = positions.shape
     n_queries = query_positions.shape[0]
-    # Ranks are < k, so a narrow integer dtype quarters the memory traffic
-    # of the dominating broadcast; row sums stay < k^2, so int32 is a safe
-    # accumulator exactly when the int16 ranks are.
-    if k <= np.iinfo(np.int16).max:
-        compact, accumulator = np.int16, np.int32
-    else:
-        compact, accumulator = np.int64, np.int64
+    # Ranks are < k, so a narrow unsigned dtype quarters (uint16) or
+    # eighths (uint8) the memory traffic of the dominating broadcast; a
+    # row sum is at most floor(k^2 / 2), so int32 is a safe accumulator
+    # exactly while that bound fits it (it does for every uint8 width
+    # and all but the last sliver of the uint16 range).
+    compact = compact_position_dtype(k)
+    accumulator = (
+        np.int32 if k * k // 2 <= np.iinfo(np.int32).max else np.int64
+    )
     positions = positions.astype(compact, copy=False)
     query_positions = query_positions.astype(compact, copy=False)
     out = np.empty((n_queries, n), dtype=np.int64)
-    rows = max(1, _FOOTRULE_CHUNK_ELEMENTS // max(1, n * k))
+    rows = max(1, min(n_queries, _FOOTRULE_CHUNK_ELEMENTS // max(1, n * k)))
+    hi = _workspace_buffer(workspace, "footrule_hi", (rows, n, k), compact)
+    lo = _workspace_buffer(workspace, "footrule_lo", (rows, n, k), compact)
     for start in range(0, n_queries, rows):
         stop = min(start + rows, n_queries)
-        block = np.abs(
-            positions[None, :, :] - query_positions[start:stop, None, :]
-        )
-        out[start:stop] = block.sum(axis=2, dtype=accumulator)
+        r = stop - start
+        stored = positions[None, :, :]
+        batch = query_positions[start:stop, None, :]
+        np.maximum(stored, batch, out=hi[:r])
+        np.minimum(stored, batch, out=lo[:r])
+        np.subtract(hi[:r], lo[:r], out=hi[:r])
+        out[start:stop] = hi[:r].sum(axis=2, dtype=accumulator)
     return out

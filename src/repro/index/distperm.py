@@ -8,6 +8,12 @@ counting results, to ``ceil(log2 N)`` bits with a table of the ``N``
 realized permutations (``Θ(d log k)`` in ``d``-dimensional Euclidean
 space, Corollary 8).
 
+The in-memory representation is the code engine's: one ``uint64`` Lehmer
+rank per element (:func:`~repro.core.permutation.encode_permutations`,
+exact through ``k = 20``) plus a ``uint8`` rank-position matrix feeding
+the batched footrule kernel through a reused scratch workspace; the
+``(n, k)`` row matrix exists only on demand (:attr:`permutations`).
+
 Search with permutations is *approximate*: candidates are visited in order
 of Spearman footrule between their stored permutation and the query's, and
 a budget caps how many true distances are evaluated.  ``knn_query`` /
@@ -30,7 +36,9 @@ import numpy as np
 from repro.core.bitpack import PackedPermutationStore
 from repro.core.entropy import EntropyReport, entropy_report
 from repro.core.permutation import (
-    footrule_matrix,
+    compact_position_dtype,
+    decode_permutations,
+    encode_permutations,
     footrule_matrix_batch,
     permutation_positions,
     permutations_from_distances,
@@ -102,28 +110,58 @@ class DistPermIndex(Index):
         self.site_indices = list(self._site_indices)
         self.sites = [self.points[i] for i in self.site_indices]
         distances = self.metric.to_sites(self.points, self.sites)
-        self.permutations = permutations_from_distances(distances)
-        # Permutation table: ids into the list of realized permutations —
-        # the storage representation the paper's counting results justify.
-        self.table, self.ids = np.unique(
-            self.permutations, axis=0, return_inverse=True
+        perms = permutations_from_distances(distances)
+        # The code representation: one Lehmer rank per element (uint64
+        # for k <= 20) instead of a k-column row matrix.  Codes sort
+        # lexicographically, so the unique-code table enumerates the same
+        # realized permutations, in the same order, as np.unique(axis=0)
+        # on rows — and `ids` is byte-identical to the row-view build.
+        self.codes = encode_permutations(perms)
+        self.table_codes, self.ids = np.unique(
+            self.codes, return_inverse=True
         )
-        self._cache_perm_positions()
+        self.table = decode_permutations(self.table_codes, perms.shape[1])
+        self._cache_perm_positions(perms)
 
-    def _cache_perm_positions(self) -> None:
-        """Derive the cached row-wise inverse of ``self.permutations``.
+    @property
+    def permutations(self) -> np.ndarray:
+        """The ``(n, k)`` permutation matrix, materialized from codes.
+
+        Kept as a property so the index itself stores only the code
+        array plus the compact rank-position cache; the full row matrix
+        exists only while a caller (``--dump``, probe checks, tests)
+        actually looks at it.
+        """
+        return self.table[self.ids]
+
+    def _cache_perm_positions(
+        self, perms: Optional[np.ndarray] = None
+    ) -> None:
+        """Derive the cached row-wise inverse of the stored permutations.
 
         The inverse feeds batched footrule against any query set without
-        re-inverting, stored in the narrow dtype
-        ``footrule_matrix_batch`` computes in so passing it never
-        re-casts the whole table.  Shared by :meth:`_build` and the
-        ``load_distperm`` loader, so a deserialized index can never lag
-        behind the build-time caches.
+        re-inverting, held in the narrowest unsigned dtype
+        (``uint8`` through ``k = 256``) so ``footrule_matrix_batch``
+        never re-casts or re-derives it.  Shared by :meth:`_build` and
+        the ``load_distperm`` loader, so a deserialized index can never
+        lag behind the build-time caches.
         """
-        positions = permutation_positions(self.permutations)
-        if positions.shape[1] <= np.iinfo(np.int16).max:
-            positions = positions.astype(np.int16)
-        self._perm_positions = positions
+        if perms is None:
+            # Restore path: invert only the (small) distinct-permutation
+            # table, cast it narrow, then gather per element — the full
+            # (n, k) row matrix is never materialized.
+            k = self.table.shape[1]
+            table_positions = permutation_positions(self.table).astype(
+                compact_position_dtype(k)
+            )
+            self._perm_positions = table_positions[self.ids]
+        else:
+            k = perms.shape[1]
+            self._perm_positions = permutation_positions(perms).astype(
+                compact_position_dtype(k), copy=False
+            )
+        # Scratch buffers footrule_matrix_batch reuses across queries.
+        self._footrule_workspace: dict = {}
 
     @property
     def n_sites(self) -> int:
@@ -158,11 +196,13 @@ class DistPermIndex(Index):
     def packed(self) -> PackedPermutationStore:
         """Materialize the bit-packed table encoding (Corollary 8).
 
-        The returned store holds the permutation table plus per-element
-        ids at ``ceil(log2 N)`` bits each — the representation whose size
-        the paper's counting results bound.
+        The returned store holds the realized-permutation code table plus
+        per-element ids at ``ceil(log2 N)`` bits each — the
+        representation whose size the paper's counting results bound.
+        Built straight from the stored code array; no row matrix is
+        materialized.
         """
-        return PackedPermutationStore.from_permutations(self.permutations)
+        return PackedPermutationStore.from_codes(self.codes, self.n_sites)
 
     def entropy(self) -> EntropyReport:
         """Entropy accounting of the permutation-id distribution.
@@ -181,7 +221,12 @@ class DistPermIndex(Index):
         first.
         """
         query_perm = self.query_permutation(query)
-        footrules = footrule_matrix(self.permutations, query_perm)
+        footrules = footrule_matrix_batch(
+            None,
+            query_perm.reshape(1, -1),
+            positions=self._perm_positions,
+            workspace=self._footrule_workspace,
+        )[0]
         return np.argsort(footrules, kind="stable")
 
     def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
@@ -255,9 +300,10 @@ class DistPermIndex(Index):
         # footrule_matrix_batch additionally bounds its 3-d intermediate.
         for start, stop in query_chunks(len(queries), len(self.points)):
             footrules = footrule_matrix_batch(
-                self.permutations,
+                None,
                 query_perms[start:stop],
                 positions=self._perm_positions,
+                workspace=self._footrule_workspace,
             )
             for offset, row in enumerate(footrules):
                 query = queries[start + offset]

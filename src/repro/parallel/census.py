@@ -9,13 +9,19 @@ paper's counting results), not by the shard size.
 
 :func:`sharded_census` splits the database into row shards, computes one
 ``shard x sites`` distance matrix per shard (through the batched metric
-kernels), folds each shard's permutations — for every requested prefix
-length of the site list at once, the way one site draw serves all ``k``
-in Table 2 — into a partial census, and merges the partials in shard
-order.  Shards run through any :class:`~repro.parallel.executor.Executor`;
-the database ships to pool workers zero-copy via
-:class:`~repro.parallel.sharedmem.SharedDataset`.  Results are identical
-for every ``workers``/``shards`` combination.
+kernels), argsorts it **once**, and derives the census of every requested
+prefix length from that single sort via
+:func:`~repro.core.permutation.prefix_permutation_codes` — the incremental
+prefix census: the permutation of the first ``j`` sites is the restriction
+of the full permutation to values ``< j``, so one encoded pass yields the
+``(code, count)`` run at every ``j`` instead of re-argsorting per prefix.
+Partial censuses merge in shard order.  Shards run through any
+:class:`~repro.parallel.executor.Executor`; the database ships to pool
+workers zero-copy via :class:`~repro.parallel.sharedmem.SharedDataset`,
+and everything shipping *back* is 1-D code arrays — 8 bytes per point
+(per prefix) instead of ``k`` ``int64`` columns, a ``k``-fold IPC saving
+on the ``--dump`` path.  Results are identical for every
+``workers``/``shards`` combination.
 """
 
 from __future__ import annotations
@@ -25,7 +31,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.estimate import StreamingCensus
-from repro.core.permutation import permutations_from_distances
+from repro.core.permutation import (
+    MAX_CODE_SITES,
+    decode_permutations,
+    encode_permutations,
+    permutations_from_distances,
+    prefix_permutation_codes,
+)
 from repro.metrics.base import Metric
 from repro.parallel.executor import Executor, get_executor
 from repro.parallel.sharedmem import SharedDataset
@@ -60,28 +72,32 @@ def _census_task(
     metric: Metric,
     ks: Sequence[int],
     collect: bool,
-) -> Tuple[Dict[int, StreamingCensus], Optional[np.ndarray]]:
+) -> Tuple[Dict[int, StreamingCensus], Optional[Tuple[str, np.ndarray]]]:
     """Partial census of one row shard, for every prefix length in ``ks``.
 
-    One ``shard x len(sites)`` distance matrix serves every prefix
-    length: the permutation of the first ``k`` sites is recomputed from
-    the first ``k`` distance columns (a permutation of a site prefix is
-    *not* a prefix of the full permutation).
+    One ``shard x len(sites)`` distance matrix and **one** argsort serve
+    every prefix length: a site-prefix permutation is the restriction of
+    the full permutation to values below the prefix width (not a column
+    prefix of it), so :func:`prefix_permutation_codes` extends one code
+    per point across all widths from the single full sort.  Only 1-D
+    ``(code, count)`` runs travel back; the ``--dump`` payload ships as
+    one Lehmer code per point (matrix fallback past ``MAX_CODE_SITES``).
     """
     points = dataset.resolve()[start:stop]
     distances = metric.to_sites(points, sites)
-    full = None
+    perms = permutations_from_distances(distances)
     censuses: Dict[int, StreamingCensus] = {}
-    for k in ks:
-        perms = permutations_from_distances(distances[:, :k])
-        if k == len(sites):
-            full = perms
+    for k, codes in prefix_permutation_codes(perms, ks).items():
         census = StreamingCensus()
-        census.update(perms)
+        census.update_codes(codes, k, coding="prefix")
         censuses[k] = census
-    if collect and full is None:
-        full = permutations_from_distances(distances)
-    return censuses, (full if collect else None)
+    payload = None
+    if collect:
+        if len(sites) <= MAX_CODE_SITES:
+            payload = ("codes", encode_permutations(perms))
+        else:
+            payload = ("perms", perms)
+    return censuses, payload
 
 
 def sharded_census(
@@ -152,9 +168,15 @@ def sharded_census(
     if collect_permutations:
         width = len(sites)
         chunks = [part[1] for part in partials]
-        permutations = (
-            np.concatenate(chunks, axis=0)
-            if chunks
-            else np.empty((0, width), dtype=np.int64)
-        )
+        if not chunks:
+            permutations = np.empty((0, width), dtype=np.int64)
+        elif chunks[0][0] == "codes":
+            # Workers shipped one 8-byte Lehmer code per point; decode
+            # the concatenated array once instead of moving (n, k) rows.
+            codes = np.concatenate([chunk[1] for chunk in chunks])
+            permutations = decode_permutations(codes, width)
+        else:
+            permutations = np.concatenate(
+                [chunk[1] for chunk in chunks], axis=0
+            )
     return censuses, permutations

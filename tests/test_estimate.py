@@ -54,12 +54,14 @@ class TestStreamingCensus:
         assert census.chao1() == 0.0
 
     def test_matches_dict_of_tuples_reference(self, rng):
-        """The void-view unique path must agree with the naive per-row
-        dict on random batches, including across mixed input dtypes."""
+        """The code-unique path must agree with the naive per-row dict on
+        random permutation batches, including across mixed input dtypes."""
         census = StreamingCensus()
         reference = {}
         for dtype in (np.int8, np.int32, np.int64, np.intp):
-            batch = rng.integers(0, 4, size=(200, 5)).astype(dtype)
+            batch = rng.permuted(
+                np.tile(np.arange(4), (200, 1)), axis=1
+            ).astype(dtype)
             census.update(batch)
             for row in batch:
                 key = tuple(int(v) for v in row)
@@ -70,6 +72,28 @@ class TestStreamingCensus:
         for count in reference.values():
             expected_fof[count] = expected_fof.get(count, 0) + 1
         assert census.frequency_of_frequencies() == expected_fof
+
+    def test_rejects_out_of_range_rows(self):
+        """Codes are only injective on permutations; out-of-range values
+        must raise instead of silently colliding."""
+        with pytest.raises(ValueError):
+            StreamingCensus().update(np.array([[0, 5]]))
+        with pytest.raises(ValueError):
+            StreamingCensus().update(np.array([[-1, 0]]))
+
+    def test_mixed_width_rejected(self):
+        census = StreamingCensus()
+        census.update(np.array([[0, 1]]))
+        with pytest.raises(ValueError):
+            census.update(np.array([[0, 1, 2]]))
+
+    def test_mixed_coding_merge_rejected(self):
+        lehmer, prefix = StreamingCensus(), StreamingCensus()
+        lehmer.update(np.array([[0, 1]]))
+        prefix.update_codes(np.array([0, 1], dtype=np.uint64), 2,
+                            coding="prefix")
+        with pytest.raises(ValueError):
+            lehmer.merge(prefix)
 
     def test_empty_batch_is_noop(self):
         census = StreamingCensus()

@@ -1,0 +1,272 @@
+"""Property tests for the packed permutation-code engine.
+
+Covers the codec round-trip across the uint64 window and the object
+fallback, code-census equivalence with a tuple-of-rows reference across
+metrics, prefix-code consistency with per-prefix recomputation,
+shard-merge exactness over workers x shards grids, and serialization of
+code-backed indexes down to the Corollary-8 payload size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimate import StreamingCensus
+from repro.core.permutation import (
+    MAX_CODE_SITES,
+    decode_permutations,
+    distance_permutations,
+    encode_permutations,
+    permutation_code_dtype,
+    permutation_rank,
+    permutation_unrank,
+    permutations_from_distances,
+    prefix_permutation_codes,
+)
+from repro.core.storage import bits_full_permutation
+from repro.datasets.dictionaries import synthetic_dictionary
+from repro.index import DistPermIndex
+from repro.index.serialize import load_distperm, save_distperm
+from repro.metrics import (
+    EuclideanDistance,
+    HammingDistance,
+    LevenshteinDistance,
+)
+from repro.parallel.census import sharded_census
+
+
+def _random_perms(rng, n, k):
+    return rng.permuted(np.tile(np.arange(k), (n, 1)), axis=1)
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("k", list(range(1, 21)))
+    def test_uint64_window(self, rng, k):
+        perms = _random_perms(rng, 64, k)
+        codes = encode_permutations(perms)
+        assert codes.dtype == np.uint64
+        np.testing.assert_array_equal(decode_permutations(codes, k), perms)
+
+    @pytest.mark.parametrize("k", [21, 25, 40])
+    def test_object_fallback(self, rng, k):
+        perms = _random_perms(rng, 16, k)
+        codes = encode_permutations(perms)
+        assert codes.dtype == object
+        assert all(isinstance(code, int) for code in codes)
+        np.testing.assert_array_equal(decode_permutations(codes, k), perms)
+
+    def test_code_dtype_window(self):
+        assert permutation_code_dtype(MAX_CODE_SITES) == np.dtype(np.uint64)
+        assert permutation_code_dtype(MAX_CODE_SITES + 1) == np.dtype(object)
+
+    def test_matches_scalar_rank(self, rng):
+        for k in (1, 4, 9, 15):
+            perms = _random_perms(rng, 8, k)
+            codes = encode_permutations(perms)
+            for row, code in zip(perms, codes):
+                assert permutation_rank(tuple(int(v) for v in row)) == int(
+                    code
+                )
+
+    def test_lexicographic_order_preserved(self):
+        import itertools
+
+        perms = np.array(list(itertools.permutations(range(5))))
+        codes = encode_permutations(perms)
+        assert list(codes) == list(range(math.factorial(5)))
+
+    def test_empty_and_zero_width(self):
+        assert encode_permutations(np.empty((0, 4), dtype=int)).shape == (0,)
+        zero = encode_permutations(np.empty((3, 0), dtype=int))
+        assert list(zero) == [0, 0, 0]
+        assert decode_permutations(zero, 0).shape == (3, 0)
+
+    def test_uint64_path_rejects_wide_k(self, rng):
+        perms = _random_perms(rng, 4, MAX_CODE_SITES + 1)
+        with pytest.raises(ValueError):
+            encode_permutations(perms, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            decode_permutations(
+                np.arange(4, dtype=np.uint64), MAX_CODE_SITES + 1
+            )
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_permutations(np.array([24], dtype=np.uint64), 4)
+        with pytest.raises(ValueError):
+            decode_permutations(np.array([-1], dtype=np.int64), 4)
+        with pytest.raises(ValueError):
+            decode_permutations(
+                np.array([math.factorial(25)], dtype=object), 25
+            )
+
+    def test_encode_rejects_out_of_range_values(self):
+        with pytest.raises(ValueError):
+            encode_permutations(np.array([[0, 4]]))
+        with pytest.raises(ValueError):
+            encode_permutations(np.array([[-1, 0]]))
+
+    @given(
+        st.integers(min_value=1, max_value=12).flatmap(
+            lambda k: st.lists(
+                st.permutations(list(range(k))), min_size=1, max_size=20
+            )
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, perm_rows):
+        perms = np.array(perm_rows)
+        codes = encode_permutations(perms)
+        np.testing.assert_array_equal(
+            decode_permutations(codes, perms.shape[1]), perms
+        )
+
+    def test_scalar_big_k_arbitrary_precision(self):
+        k = 30
+        reverse = tuple(reversed(range(k)))
+        rank = permutation_rank(reverse)
+        assert rank == math.factorial(k) - 1
+        assert permutation_unrank(rank, k) == reverse
+
+
+class TestCodeCensusEquivalence:
+    """Code-keyed censuses must be byte-identical (distinct, total,
+    frequency-of-frequencies, chao1) to a tuple-of-rows reference."""
+
+    def _reference(self, perms):
+        counts = {}
+        for row in perms:
+            key = tuple(int(v) for v in row)
+            counts[key] = counts.get(key, 0) + 1
+        fof = {}
+        for count in counts.values():
+            fof[count] = fof.get(count, 0) + 1
+        return len(counts), fof
+
+    def _check(self, points, sites, metric):
+        perms = distance_permutations(points, sites, metric)
+        census = StreamingCensus()
+        for start in range(0, len(perms), 257):  # uneven batches
+            census.update(perms[start : start + 257])
+        distinct, fof = self._reference(perms)
+        assert census.distinct == distinct
+        assert census.total == len(perms)
+        assert census.frequency_of_frequencies() == fof
+        from repro.core.estimate import chao1_estimate
+
+        assert census.chao1() == chao1_estimate(fof, distinct)
+
+    def test_euclidean(self, rng):
+        points = rng.random((600, 3))
+        self._check(points, points[:7], EuclideanDistance())
+
+    def test_levenshtein(self, rng):
+        words = synthetic_dictionary("English", 400, rng=rng)
+        self._check(words, words[:6], LevenshteinDistance())
+
+    def test_hamming(self, rng):
+        strings = [
+            "".join(rng.choice(list("ab"), size=6)) for _ in range(300)
+        ]
+        self._check(strings, strings[:5], HammingDistance())
+
+
+class TestPrefixCodes:
+    def test_matches_per_prefix_recompute(self, rng):
+        """One-sort prefix codes count exactly like re-argsorting each
+        prefix of the distance matrix (heavy ties included)."""
+        distances = rng.random((400, 9))
+        distances[rng.random((400, 9)) < 0.5] = 0.25  # pervasive ties
+        full = permutations_from_distances(distances)
+        by_width = prefix_permutation_codes(full, range(0, 10))
+        for j in range(0, 10):
+            reference = StreamingCensus()
+            reference.update(permutations_from_distances(distances[:, :j]))
+            census = StreamingCensus()
+            census.update_codes(by_width[j], j, coding="prefix")
+            assert census.distinct == reference.distinct
+            assert (
+                census.frequency_of_frequencies()
+                == reference.frequency_of_frequencies()
+            )
+
+    def test_codes_injective_per_width(self, rng):
+        distances = rng.random((300, 6))
+        distances[rng.random((300, 6)) < 0.4] = 0.5
+        full = permutations_from_distances(distances)
+        codes = prefix_permutation_codes(full, [4])[4]
+        restricted = permutations_from_distances(distances[:, :4])
+        mapping = {}
+        for row, code in zip(restricted, codes):
+            key = tuple(int(v) for v in row)
+            assert mapping.setdefault(key, int(code)) == int(code)
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_wide_prefix_object_path(self, rng):
+        perms = _random_perms(rng, 40, 22)
+        codes = prefix_permutation_codes(perms, [22])[22]
+        assert codes.dtype == object
+        assert len({int(c) for c in codes}) == len(
+            {tuple(int(v) for v in row) for row in perms}
+        )
+
+
+class TestShardMergeGrid:
+    @pytest.mark.parametrize("workers", [0, 2])
+    @pytest.mark.parametrize("shards", [1, 3, 4])
+    def test_equals_whole_database_census(self, rng, workers, shards):
+        points = rng.random((240, 3))
+        sites = [points[i] for i in range(6)]
+        metric = EuclideanDistance()
+        reference, _ = sharded_census(points, sites, metric, ks=[3, 6])
+        censuses, _ = sharded_census(
+            points, sites, metric, ks=[3, 6],
+            workers=workers, shards=shards,
+        )
+        for k in (3, 6):
+            assert censuses[k].distinct == reference[k].distinct
+            assert censuses[k].total == reference[k].total
+            assert (
+                censuses[k].frequency_of_frequencies()
+                == reference[k].frequency_of_frequencies()
+            )
+            assert censuses[k].chao1() == reference[k].chao1()
+
+
+class TestCodeBackedSerialization:
+    def test_roundtrip_code_state(self, tmp_path, rng):
+        points = rng.random((300, 3))
+        index = DistPermIndex(
+            points, EuclideanDistance(), n_sites=6,
+            rng=np.random.default_rng(3),
+        )
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        loaded = load_distperm(path, points, EuclideanDistance())
+        np.testing.assert_array_equal(loaded.codes, index.codes)
+        np.testing.assert_array_equal(loaded.table_codes, index.table_codes)
+        np.testing.assert_array_equal(loaded.ids, index.ids)
+        np.testing.assert_array_equal(loaded.permutations, index.permutations)
+
+    def test_payload_hits_corollary8_bits(self, tmp_path, rng):
+        """The k=12 on-disk per-element payload is the packed code array:
+        n * ceil(lg 12!) bits, within one alignment word."""
+        n, k = 500, 12
+        points = rng.random((n, 4))
+        index = DistPermIndex(
+            points, EuclideanDistance(), n_sites=k,
+            rng=np.random.default_rng(5),
+        )
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        bits = bits_full_permutation(k)
+        assert bits == 29  # ceil(lg 12!)
+        with np.load(path) as data:
+            payload_bytes = data["codes_packed"].shape[0]
+        assert math.ceil(n * bits / 8) <= payload_bytes
+        assert payload_bytes <= math.ceil(n * bits / 8) + 8
