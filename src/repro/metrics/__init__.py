@@ -9,7 +9,11 @@ evaluations, not wall-clock time).
 
 from repro.metrics.base import CountingMetric, Metric
 from repro.metrics.documents import AngularDistance, CosineDissimilarity
-from repro.metrics.encoding import EncodedStrings, encode_strings
+from repro.metrics.encoding import (
+    EncodedStrings,
+    encode_strings,
+    levenshtein_kernel_plan,
+)
 from repro.metrics.matrixmetric import (
     MatrixMetric,
     metric_closure,
@@ -65,6 +69,7 @@ __all__ = [
     "encode_strings",
     "hamming",
     "levenshtein",
+    "levenshtein_kernel_plan",
     "longest_common_prefix",
     "metric_closure",
     "minkowski_distance",

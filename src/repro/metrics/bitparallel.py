@@ -1,0 +1,793 @@
+"""Myers bit-parallel Levenshtein kernels over :class:`EncodedStrings`.
+
+The PR-2 batched Wagner–Fischer DP still performs O(m·n) cell work per
+string pair.  Myers' 1999 bit-vector algorithm packs an entire DP column
+into machine words — each text character advances the whole column with a
+constant number of word operations — for O(m·⌈n/64⌉) work.  This module
+implements that algorithm as pure-numpy ``uint64`` array kernels,
+vectorized across a whole *pattern collection* at once: the collection is
+the bit-packed side, and the loop runs over the characters of the other
+(shorter) side, exactly mirroring the orientation logic of the
+Wagner–Fischer kernel it replaces.
+
+Two kernels cover the length spectrum:
+
+- :class:`_PackedChunk` — patterns of length ≤ 30 are packed several per
+  word in end-aligned slots of width ``W = max_len + 2``.  Two guard
+  bits separate consecutive slots: the lower bit absorbs the adder carry
+  escaping the slot below (its ``VP``/``Eq`` bits are always 0, so the
+  carry dies without propagating), and the upper bit regenerates the
+  ``+1`` horizontal boundary delta for the slot above (its ``Ph`` bit is
+  recomputed to 1 every column).  One guard bit is *not* enough: a carry
+  landing on it suppresses that column's boundary delta.  Scores are
+  accumulated in matching packed ``W``-bit counters, so score extraction
+  is two mask-shift-add ops per column instead of per-slot bookkeeping.
+- :class:`_BlockedChunk` — longer patterns get ⌈m/64⌉ words each
+  (Hyyrö's blocked variant), with the horizontal delta carried across
+  word boundaries per column and the ``Eq |= hin_negative`` correction
+  applied at every block.
+
+Two *drivers* run the kernels.  :func:`myers_matrix_into` loops over the
+texts one at a time — the right shape when the pattern collection is the
+big side.  :func:`myers_matrix_lockstep_into` is its dual for the repo's
+dominant call shape (a handful of sites against thousands of points):
+every text advances together in ascending length order, column ``j``
+updating only the suffix of texts longer than ``j``, so the numpy call
+count scales with the *longest* text rather than total text characters
+and the expensive per-collection build lands on the tiny site side.
+
+Both layouts end-align each pattern at the top bit of its slot/top word.
+The dead low bits act as a phantom prefix of never-matching characters
+whose column-0 vertical deltas are 0; such phantom rows provably hold the
+value ``j`` in every column ``j``, so the real pattern rows compute the
+true distance unchanged while the final score sits at a *uniform* bit
+position — the key to vectorizing mixed-length collections.
+
+The per-collection state (dense alphabet remap, chunk layouts, packed
+``Peq`` match tables) is built once and cached on the
+:class:`EncodedStrings` instance itself, so it lives exactly as long as
+the encoding-LRU entry and repeated ``to_sites``/census/index calls over
+one dataset never rebuild it.  Collections whose alphabet exceeds
+:data:`DENSE_ALPHABET_MAX` distinct symbols report themselves ineligible
+and the caller falls back to the Wagner–Fischer kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "DENSE_ALPHABET_MAX",
+    "PACKED_MAX_LEN",
+    "MyersPatterns",
+    "myers_patterns",
+    "myers_eligible",
+    "myers_matrix_into",
+    "myers_lockstep_eligible",
+    "myers_matrix_lockstep_into",
+    "build_count",
+]
+
+#: Dense alphabet remap threshold: collections with more distinct code
+#: points than this (none of the paper's workloads come close) skip the
+#: Myers path entirely rather than pay huge ``Peq`` tables.
+DENSE_ALPHABET_MAX = 512
+
+#: Upper bound on bytes across a collection's ``Peq`` tables; beyond it
+#: the collection reports itself ineligible (Wagner–Fischer fallback).
+_PEQ_MAX_BYTES = 64 << 20
+
+#: Patterns at most this long enter the packed kernel (slot width
+#: ``max_len + 2`` ≤ 32 leaves at least two slots per word); longer ones
+#: use the blocked kernel.
+PACKED_MAX_LEN = 30
+
+#: Columns between early-exit checks in the bounded kernels.
+_PRUNE_EVERY = 16
+
+#: Text rows per lock-step block: keeps the ~9 live state buffers of
+#: :meth:`_PackedChunk.distances_lockstep` inside the L2 cache (measurably
+#: faster per character than one pass over a 10k-text batch) and lets
+#: blocks of short texts stop at their own maximum length.
+_LOCKSTEP_BLOCK_TEXTS = 4096
+
+#: Code points below this use a presence-bitmap alphabet + lookup-table
+#: remap (O(chars), sort-free); exotic collections fall back to
+#: ``np.unique`` + ``searchsorted``.
+_LUT_MAX_CODE = 1 << 20
+
+#: Fixed per-column overhead in word-equivalents (one numpy call costs
+#: about this many uint64 element-ops); used by the chunk merger and by
+#: the caller's kernel/orientation cost model.
+COLUMN_OVERHEAD_WORDS = 1024
+
+#: Number of numpy calls one text column costs (packed kernel); the
+#: blocked kernel pays roughly this much per 64-bit block.
+OPS_PER_COLUMN = 22
+
+_U1 = np.uint64(1)
+_U63 = np.uint64(63)
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Total layout builds since import (cache-hit observability for tests).
+_BUILD_COUNT = 0
+
+
+def build_count() -> int:
+    """How many :class:`MyersPatterns` layouts have ever been built."""
+    return _BUILD_COUNT
+
+
+_U32 = np.uint64(32)
+_LO32 = np.uint64(0xFFFFFFFF)
+
+
+def _scatter_or(flat_index: np.ndarray, bits: np.ndarray, size: int) -> np.ndarray:
+    """OR-scatter ``bits`` into a zeroed uint64 array of ``size`` entries.
+
+    Every call site ORs *disjoint* bits per destination (each pattern
+    character owns one bit of one word; each slot's masks never overlap
+    another slot's), so OR equals SUM and the scatter vectorizes as two
+    exact float64 ``np.bincount`` passes over the 32-bit halves — orders
+    of magnitude faster than ``np.bitwise_or.at``'s per-element C loop
+    and sort-free, unlike a ``reduceat`` formulation.  Half-sums stay
+    below ``2**32 * len(bits) < 2**53``, so the float64 accumulation is
+    exact.
+    """
+    if flat_index.size == 0:
+        return np.zeros(size, dtype=np.uint64)
+    lo = np.bincount(
+        flat_index, weights=(bits & _LO32).astype(np.float64), minlength=size
+    )
+    hi = np.bincount(
+        flat_index, weights=(bits >> _U32).astype(np.float64), minlength=size
+    )
+    return (hi.astype(np.uint64) << _U32) | lo.astype(np.uint64)
+
+
+class _PackedChunk:
+    """Length-sorted patterns of length ≤ 30, packed ``P`` per word.
+
+    Slot ``s`` of word ``w`` holds pattern ``s * n_words + w`` of the
+    chunk (column-major), end-aligned at slot-local bit ``W - 1`` with
+    two dead guard bits below the shortest possible pattern start.
+    """
+
+    kind = "packed"
+
+    def __init__(
+        self,
+        rel_rows: np.ndarray,
+        cols: np.ndarray,
+        len_f: np.ndarray,
+        syms: np.ndarray,
+        lengths: np.ndarray,
+        n_syms: int,
+    ):
+        # rel_rows / cols / len_f / syms are flat per-character arrays
+        # (chunk-relative pattern index, position, pattern length, dense
+        # symbol), row-major — pure arithmetic replaces per-row gathers.
+        n = lengths.shape[0]
+        m_max = int(lengths.max())
+        W = max(m_max + 2, 8)
+        P = 64 // W
+        n_words = -(-n // P)
+        self.n = n
+        self.width = W
+        self.per_word = P
+        self.n_words = n_words
+        self.capacity = (1 << W) - 1
+        self.m_min = int(lengths.min())
+        self.m_max = m_max
+        lengths64 = lengths.astype(np.uint64)
+        ranks = np.arange(n)
+        word = ranks % n_words
+        slot_base = ((ranks // n_words) * W).astype(np.uint64)
+        width64 = np.uint64(W)
+        seg = ((_U1 << lengths64) - _U1) << (width64 - lengths64)
+        self.valid = _scatter_or(word, seg << slot_base, n_words)
+        self.end_mask = _scatter_or(
+            word, (_U1 << np.uint64(W - 1)) << slot_base, n_words
+        )
+        self.score_init = _scatter_or(word, lengths64 << slot_base, n_words)
+        bit_index = (rel_rows // n_words) * W + W - len_f + cols
+        bits = np.left_shift(_U1, bit_index.astype(np.uint64))
+        flat = syms * n_words + rel_rows % n_words
+        self.peq = _scatter_or(
+            flat, bits, (n_syms + 1) * n_words
+        ).reshape(n_syms + 1, n_words)
+        self._scratch = [np.empty(n_words, dtype=np.uint64) for _ in range(8)]
+
+    def peq_bytes(self) -> int:
+        return self.peq.nbytes
+
+    def _unpack_scores(self, score: np.ndarray, out: np.ndarray) -> None:
+        """Split packed ``W``-bit score slots back into ``out`` (length n)."""
+        W, n_words = self.width, self.n_words
+        cap = np.uint64(self.capacity)
+        for s in range(self.per_word):
+            lo = s * n_words
+            if lo >= self.n:
+                break
+            hi = min(lo + n_words, self.n)
+            out[lo:hi] = (
+                (score >> np.uint64(s * W)) & cap
+            )[: hi - lo].astype(np.int64)
+
+    def distances(
+        self,
+        tsyms: list,
+        out: np.ndarray,
+        max_distance: Optional[int] = None,
+    ) -> None:
+        """Distances from every pattern to one text, written into ``out``.
+
+        With ``max_distance`` set, runs the bounded variant: every
+        :data:`_PRUNE_EVERY` columns the certified lower bound
+        ``score - columns_remaining`` is checked, and once every pattern
+        is past the bound the loop exits reporting those lower bounds
+        (all ``> max_distance``, so the range-query contract holds).
+        """
+        VP, VN, score, Xv, Xh, Ph, t, sc = self._scratch
+        np.copyto(VP, self.valid)
+        VN[:] = 0
+        np.copyto(score, self.score_init)
+        peq, end, valid = self.peq, self.end_mask, self.valid
+        shift = np.uint64(self.width - 1)
+        n_text = len(tsyms)
+        bounded = max_distance is not None
+        for j, c in enumerate(tsyms, start=1):
+            Eq = peq[c]
+            np.bitwise_or(Eq, VN, out=Xv)
+            np.bitwise_and(Eq, VP, out=Xh)
+            np.add(Xh, VP, out=Xh)
+            np.bitwise_xor(Xh, VP, out=Xh)
+            np.bitwise_or(Xh, Eq, out=Xh)
+            np.bitwise_or(Xh, VP, out=Ph)
+            np.invert(Ph, out=Ph)
+            np.bitwise_or(Ph, VN, out=Ph)
+            np.bitwise_and(VP, Xh, out=Xh)  # Xh now holds Mh
+            np.bitwise_and(Ph, end, out=sc)
+            np.right_shift(sc, shift, out=sc)
+            np.add(score, sc, out=score)
+            np.bitwise_and(Xh, end, out=sc)
+            np.right_shift(sc, shift, out=sc)
+            np.subtract(score, sc, out=score)
+            np.left_shift(Ph, _U1, out=Ph)
+            np.left_shift(Xh, _U1, out=Xh)
+            np.bitwise_or(Xv, Ph, out=t)
+            np.invert(t, out=t)
+            np.bitwise_or(t, Xh, out=t)
+            np.bitwise_and(Ph, Xv, out=VN)
+            np.bitwise_and(t, valid, out=VP)
+            if bounded and j < n_text and j % _PRUNE_EVERY == 0:
+                self._unpack_scores(score, out)
+                remaining = n_text - j
+                if (out[: self.n] - remaining).min() > max_distance:
+                    out[: self.n] -= remaining
+                    return
+        self._unpack_scores(score, out)
+
+    #: State buffers one lock-step call needs (rows of the scratch pool).
+    LOCKSTEP_BUFFERS = 10
+
+    def distances_lockstep(
+        self,
+        tsyms: np.ndarray,
+        tlen: np.ndarray,
+        out: np.ndarray,
+        rows: np.ndarray,
+        tcols: np.ndarray,
+        scratch: Optional[np.ndarray] = None,
+    ) -> None:
+        """Distances from every pattern to a whole length-sorted text batch.
+
+        ``tsyms`` / ``tlen`` are the remapped code matrix and lengths of
+        the texts in *ascending length order*; all texts advance in lock
+        step, column ``j`` updating the contiguous suffix of texts longer
+        than ``j``, so finished texts simply stop being touched and their
+        packed scores are already final.  Results land in
+        ``out[rows, tcols]``.  Requires ``tlen.max() <= self.capacity``
+        (the packed score counters must hold any text length).
+
+        ``scratch`` — an optional ``(LOCKSTEP_BUFFERS, >= n_t, n_words)``
+        uint64 pool reused across blocks: one allocation instead of nine
+        per call keeps cold runs from spending more time page-faulting
+        fresh buffers than computing.
+        """
+        n_t = tlen.shape[0]
+        nw = self.n_words
+        if (
+            scratch is None
+            or scratch.shape[1] < n_t
+            or scratch.shape[2] != nw
+        ):
+            scratch = np.empty(
+                (self.LOCKSTEP_BUFFERS, n_t, nw), dtype=np.uint64
+            )
+        VP, VN, score, Eq, Xv, Xh, Ph, t, end, valid = scratch[:, :n_t, :]
+        # Materialized (not broadcast) masks: broadcasting a (nw,) row
+        # against the (n_t, nw) state costs several times a same-shape op
+        # at these sizes, and the masks enter three ops per column.
+        np.copyto(VP, self.valid)
+        VN[:] = 0
+        np.copyto(score, self.score_init)
+        np.copyto(end, self.end_mask)
+        np.copyto(valid, self.valid)
+        # The score temp reuses Eq: each column's last read of Eq comes
+        # before the first score-temp write.
+        sc = Eq
+        peq = self.peq
+        shift = np.uint64(self.width - 1)
+        for j in range(int(tlen[-1]) if n_t else 0):
+            s = int(np.searchsorted(tlen, j + 1))
+            eq = Eq[s:]
+            np.take(peq, tsyms[s:, j], axis=0, out=eq)
+            vp, vn, xv = VP[s:], VN[s:], Xv[s:]
+            xh, ph, tt, scv, sco = Xh[s:], Ph[s:], t[s:], sc[s:], score[s:]
+            endv, validv = end[s:], valid[s:]
+            np.bitwise_or(eq, vn, out=xv)
+            np.bitwise_and(eq, vp, out=xh)
+            np.add(xh, vp, out=xh)
+            np.bitwise_xor(xh, vp, out=xh)
+            np.bitwise_or(xh, eq, out=xh)
+            np.bitwise_or(xh, vp, out=ph)
+            np.invert(ph, out=ph)
+            np.bitwise_or(ph, vn, out=ph)
+            np.bitwise_and(vp, xh, out=xh)  # xh now holds Mh
+            np.bitwise_and(ph, endv, out=scv)
+            np.right_shift(scv, shift, out=scv)
+            np.add(sco, scv, out=sco)
+            np.bitwise_and(xh, endv, out=scv)
+            np.right_shift(scv, shift, out=scv)
+            np.subtract(sco, scv, out=sco)
+            np.left_shift(ph, _U1, out=ph)
+            np.left_shift(xh, _U1, out=xh)
+            np.bitwise_or(xv, ph, out=tt)
+            np.invert(tt, out=tt)
+            np.bitwise_or(tt, xh, out=tt)
+            np.bitwise_and(ph, xv, out=vn)
+            np.bitwise_and(tt, validv, out=vp)
+        cap = np.uint64(self.capacity)
+        for sl in range(self.per_word):
+            a = sl * nw
+            if a >= self.n:
+                break
+            b = min(a + nw, self.n)
+            vals = (score >> np.uint64(sl * self.width)) & cap
+            out[np.ix_(rows[a:b], tcols)] = vals[:, : b - a].T
+
+
+class _BlockedChunk:
+    """One pattern per lane, ``B = ⌈max_len/64⌉`` uint64 blocks each."""
+
+    kind = "blocked"
+
+    def __init__(
+        self,
+        rel_rows: np.ndarray,
+        cols: np.ndarray,
+        len_f: np.ndarray,
+        syms: np.ndarray,
+        lengths: np.ndarray,
+        n_syms: int,
+    ):
+        n = lengths.shape[0]
+        m_max = int(lengths.max())
+        B = -(-max(m_max, 1) // 64)
+        self.n = n
+        self.blocks = B
+        self.m_min = int(lengths.min())
+        self.m_max = m_max
+        start = 64 * B - lengths  # global start bit, end-aligned at top
+        valid = np.empty((B, n), dtype=np.uint64)
+        for b in range(B):
+            lo, hi = 64 * b, 64 * b + 64
+            local = (np.clip(start, lo, hi) - lo).astype(np.uint64)
+            valid[b] = np.where(start < hi, _FULL << local, np.uint64(0))
+        self.valid = valid
+        self.lengths = lengths.astype(np.int64)
+        gbit = 64 * B - len_f + cols
+        flat = (syms * B + (gbit >> 6)) * n + rel_rows
+        self.peq = _scatter_or(
+            flat, _U1 << (gbit & 63).astype(np.uint64), (n_syms + 1) * B * n
+        ).reshape(n_syms + 1, B, n)
+        self._scratch = [np.empty(n, dtype=np.uint64) for _ in range(7)]
+        self._vp = np.empty((B, n), dtype=np.uint64)
+        self._vn = np.empty((B, n), dtype=np.uint64)
+        self._score = np.empty(n, dtype=np.int64)
+
+    def peq_bytes(self) -> int:
+        return self.peq.nbytes
+
+    def distances(
+        self,
+        tsyms: list,
+        out: np.ndarray,
+        max_distance: Optional[int] = None,
+    ) -> None:
+        B = self.blocks
+        VP, VN, score = self._vp, self._vn, self._score
+        np.copyto(VP, self.valid)
+        VN[:] = 0
+        np.copyto(score, self.lengths)
+        Xv, Xh, Ph, Mh, t, hp, hn = self._scratch
+        peq = self.peq
+        n_text = len(tsyms)
+        bounded = max_distance is not None
+        for j, c in enumerate(tsyms, start=1):
+            Eq_all = peq[c]
+            hp[:] = _U1  # row-0 horizontal delta is always +1
+            hn[:] = 0
+            for b in range(B):
+                Eq = Eq_all[b]
+                Pv = VP[b]
+                Mv = VN[b]
+                np.bitwise_or(Eq, Mv, out=Xv)
+                np.bitwise_or(Eq, hn, out=Xh)  # Hyyrö's hin<0 correction
+                np.bitwise_and(Xh, Pv, out=t)
+                np.add(t, Pv, out=t)
+                np.bitwise_xor(t, Pv, out=t)
+                np.bitwise_or(Xh, t, out=Xh)
+                np.bitwise_or(Xh, Pv, out=Ph)
+                np.invert(Ph, out=Ph)
+                np.bitwise_or(Ph, Mv, out=Ph)
+                np.bitwise_and(Pv, Xh, out=Mh)
+                np.left_shift(Ph, _U1, out=t)
+                np.bitwise_or(t, hp, out=t)
+                np.right_shift(Ph, _U63, out=hp)
+                np.left_shift(Mh, _U1, out=Ph)  # Ph buffer -> shifted Mh
+                np.bitwise_or(Ph, hn, out=Ph)
+                np.right_shift(Mh, _U63, out=hn)
+                np.bitwise_or(Xv, t, out=Mh)  # Mh buffer -> Xv | Ph2
+                np.invert(Mh, out=Mh)
+                np.bitwise_or(Mh, Ph, out=Mh)
+                np.bitwise_and(Mh, self.valid[b], out=VP[b])
+                np.bitwise_and(t, Xv, out=VN[b])
+            score += hp.astype(np.int64)
+            score -= hn.astype(np.int64)
+            if bounded and j < n_text and j % _PRUNE_EVERY == 0:
+                remaining = n_text - j
+                if (score - remaining).min() > max_distance:
+                    np.subtract(score, remaining, out=out[: self.n])
+                    return
+        np.copyto(out[: self.n], score)
+
+
+class MyersPatterns:
+    """The cached bit-parallel state of one pattern collection.
+
+    Holds the dense alphabet remap, the length-sorted order, and one
+    packed or blocked chunk per merged length band.  ``eligible`` is
+    False when the alphabet or ``Peq`` footprint exceeds the dense-remap
+    budget; callers then use the Wagner–Fischer kernel.
+    """
+
+    def __init__(self, encoded) -> None:
+        global _BUILD_COUNT
+        _BUILD_COUNT += 1
+        codes, lengths = encoded.codes, encoded.lengths
+        n = lengths.shape[0]
+        self.n = n
+        self.order = np.argsort(lengths, kind="stable")
+        sorted_lengths = lengths[self.order]
+        self.sorted_lengths = sorted_lengths
+        sorted_codes = codes[self.order] if codes.size else codes
+        real_sorted = (
+            np.arange(codes.shape[1])[None, :] < sorted_lengths[:, None]
+        )
+        # Flat row-major character stream of the sorted collection: the
+        # whole build works on these 1-D arrays (pure arithmetic, no
+        # per-row gathers or nonzero scans).
+        flat_codes = (
+            sorted_codes[real_sorted]
+            if codes.size
+            else np.empty(0, dtype=codes.dtype)
+        )
+        max_code = int(flat_codes.max()) if flat_codes.size else 0
+        if max_code < _LUT_MAX_CODE:
+            # Presence bitmap + lookup table: O(chars) alphabet discovery
+            # and remapping, no sorts (the common case — text alphabets).
+            # One sentinel zero entry past the top code lets remapping be
+            # a branch-free clip + take: any foreign code at or above the
+            # table clamps onto the sentinel and maps to symbol 0.
+            present = np.zeros(max_code + 1, dtype=bool)
+            present[flat_codes] = True
+            alphabet = np.flatnonzero(present).astype(codes.dtype)
+            self._lut = np.zeros(max_code + 2, dtype=np.int32)
+            self._lut[alphabet] = np.arange(
+                1, alphabet.shape[0] + 1, dtype=np.int32
+            )
+        else:
+            alphabet = np.unique(flat_codes)
+            self._lut = None
+        self.alphabet = alphabet
+        self.n_syms = int(alphabet.shape[0])
+        self.chunks: List[object] = []
+        self.chunk_bounds: List[tuple] = []
+        self.n_empty = int(np.searchsorted(sorted_lengths, 1))
+        self.eligible = self.n_syms <= DENSE_ALPHABET_MAX
+        self._flat = None
+        self._char_starts = None
+        if not self.eligible or n == 0:
+            return
+        counts = sorted_lengths
+        syms_f = (
+            self._lut[flat_codes]
+            if self._lut is not None
+            else self.remap_codes(flat_codes)
+        )
+        rows = np.repeat(np.arange(n), counts)
+        len_f = np.repeat(counts, counts)
+        starts = np.cumsum(counts) - counts
+        cols = np.arange(len_f.shape[0]) - np.repeat(starts, counts)
+        self._flat = (rows, cols, len_f, syms_f)
+        self._char_starts = np.concatenate([starts, [len_f.shape[0]]])
+        bounds = self._chunk_bounds(sorted_lengths)
+        peq_bytes = 0
+        for lo, hi in bounds:
+            a = int(self._char_starts[lo])
+            b = int(self._char_starts[hi])
+            chunk_lengths = sorted_lengths[lo:hi]
+            width = int(chunk_lengths[-1])
+            cls = _PackedChunk if width <= PACKED_MAX_LEN else _BlockedChunk
+            chunk = cls(
+                rows[a:b] - lo,
+                cols[a:b],
+                len_f[a:b],
+                syms_f[a:b],
+                chunk_lengths,
+                self.n_syms,
+            )
+            peq_bytes += chunk.peq_bytes()
+            if peq_bytes > _PEQ_MAX_BYTES:
+                self.eligible = False
+                self.chunks = []
+                self.chunk_bounds = []
+                return
+            self.chunks.append(chunk)
+            self.chunk_bounds.append((lo, hi))
+
+    def _chunk_bounds(self, sorted_lengths: np.ndarray) -> List[tuple]:
+        """Split the sorted non-empty patterns into cost-merged bands.
+
+        Initial boundaries fall wherever the packing mode changes (slots
+        per word for short patterns, block count for long ones); adjacent
+        bands are then merged greedily whenever one wider band costs
+        fewer word-ops per column than two narrow ones — each extra
+        chunk pays :data:`COLUMN_OVERHEAD_WORDS` per column in fixed
+        numpy-call overhead, which dominates small collections.
+        """
+        n = sorted_lengths.shape[0]
+        if self.n_empty >= n:
+            return []
+        lengths = sorted_lengths[self.n_empty :]
+
+        def words(count: int, m_max: int) -> int:
+            if m_max <= PACKED_MAX_LEN:
+                return -(-count // (64 // max(m_max + 2, 8)))
+            return -(-m_max // 64) * count
+
+        # Vectorized mode signature per pattern: positive = slots per
+        # word (packed), negative = block count (blocked).
+        packed = lengths <= PACKED_MAX_LEN
+        mode_id = np.where(
+            packed, 64 // np.maximum(lengths + 2, 8), (-lengths) // 64
+        )
+        boundaries = np.flatnonzero(np.diff(mode_id)) + 1
+        edges = [0, *boundaries.tolist(), int(lengths.shape[0])]
+        bands = [[edges[i], edges[i + 1]] for i in range(len(edges) - 1)]
+        merged = True
+        while merged and len(bands) > 1:
+            merged = False
+            best_gain, best_i = 0, -1
+            for i in range(len(bands) - 1):
+                (a_lo, a_hi), (b_lo, b_hi) = bands[i], bands[i + 1]
+                cost_split = (
+                    2 * COLUMN_OVERHEAD_WORDS
+                    + words(a_hi - a_lo, int(lengths[a_hi - 1]))
+                    + words(b_hi - b_lo, int(lengths[b_hi - 1]))
+                )
+                cost_merged = COLUMN_OVERHEAD_WORDS + words(
+                    b_hi - a_lo, int(lengths[b_hi - 1])
+                )
+                gain = cost_split - cost_merged
+                if gain > best_gain:
+                    best_gain, best_i = gain, i
+            if best_i >= 0:
+                bands[best_i][1] = bands[best_i + 1][1]
+                del bands[best_i + 1]
+                merged = True
+        return [
+            (self.n_empty + lo, self.n_empty + hi) for lo, hi in bands
+        ]
+
+    def words_per_column(self) -> int:
+        """Cost-model estimate: uint64 element-ops one text column costs."""
+        total = 0
+        for chunk in self.chunks:
+            total += COLUMN_OVERHEAD_WORDS
+            if chunk.kind == "packed":
+                total += chunk.n_words
+            else:
+                total += chunk.blocks * chunk.n
+        return max(total, 1)
+
+    def remap_codes(self, arr: np.ndarray) -> np.ndarray:
+        """Map code points into dense symbols ``1..n_syms`` (0 = foreign).
+
+        Characters absent from the pattern alphabet map to symbol 0,
+        whose ``Peq`` row is all-zero (never a match) — exactly the DP
+        semantics, so foreign text characters need no fallback.
+        """
+        if self.n_syms == 0:
+            return np.zeros(arr.shape, dtype=np.int64)
+        if self._lut is not None:
+            sentinel = self._lut.shape[0] - 1
+            return self._lut.take(np.minimum(arr, sentinel))
+        idx = np.searchsorted(self.alphabet, arr)
+        idx[idx == self.n_syms] = 0
+        hit = self.alphabet[idx] == arr
+        return np.where(hit, idx + 1, 0).astype(np.int64)
+
+    def remap_text(self, text_codes: np.ndarray) -> np.ndarray:
+        """Map one text's code points into the dense pattern alphabet."""
+        return self.remap_codes(text_codes)
+
+
+def myers_patterns(encoded) -> MyersPatterns:
+    """The (cached) bit-parallel layout of an encoded collection.
+
+    The layout is attached to the :class:`EncodedStrings` instance, so it
+    shares the encoding cache's LRU lifetime: as long as the encoding is
+    alive, every ``to_sites``/census/index call reuses one build.
+    """
+    layout = encoded.myers
+    if layout is None:
+        layout = MyersPatterns(encoded)
+        encoded.myers = layout
+    return layout
+
+
+def myers_eligible(encoded) -> bool:
+    """Whether the collection qualifies for the bit-parallel kernels."""
+    return myers_patterns(encoded).eligible
+
+
+def myers_matrix_into(
+    patterns_encoded,
+    texts_encoded,
+    out: np.ndarray,
+    max_distance: Optional[int] = None,
+) -> None:
+    """Fill ``out[i, j] = d(patterns[i], texts[j])`` with the Myers kernels.
+
+    Loops over the texts (and their characters); the pattern collection
+    is fully bit-parallel.  With ``max_distance``, per-text chunk skips
+    apply first — a chunk whose entire length band differs from the text
+    length by more than the bound reports the length gap, a certified
+    lower bound — and the in-loop early exit handles the rest.
+    """
+    layout = myers_patterns(patterns_encoded)
+    if not layout.eligible:
+        raise ValueError("pattern collection is not Myers-eligible")
+    order = layout.order
+    empties = order[: layout.n_empty]
+    text_lengths = texts_encoded.lengths
+    scratch = np.empty(layout.n, dtype=np.int64)
+    for j in range(len(texts_encoded)):
+        n_text = int(text_lengths[j])
+        if layout.n_empty:
+            out[empties, j] = n_text
+        tsyms = None
+        for chunk, (lo, hi) in zip(layout.chunks, layout.chunk_bounds):
+            rows = order[lo:hi]
+            if n_text == 0:
+                out[rows, j] = patterns_encoded.lengths[rows]
+                continue
+            if max_distance is not None:
+                gap_min = max(chunk.m_min - n_text, n_text - chunk.m_max)
+                if gap_min > max_distance:
+                    # The whole band is out of range: the length gap is
+                    # a valid lower bound and already exceeds the bound.
+                    out[rows, j] = np.abs(
+                        patterns_encoded.lengths[rows] - n_text
+                    )
+                    continue
+            if tsyms is None:
+                tsyms = layout.remap_text(
+                    texts_encoded.codes[j, :n_text]
+                ).tolist()
+            if chunk.kind == "packed" and n_text > chunk.capacity:
+                # Text too long for the packed score counters (score can
+                # reach the text length); rerun this band through a
+                # throwaway blocked chunk, which has no such limit.
+                chunk = _blocked_for_band(layout, lo, hi)
+            chunk.distances(tsyms, scratch, max_distance)
+            out[rows, j] = scratch[: hi - lo]
+
+
+def myers_lockstep_eligible(patterns_encoded, texts_encoded) -> bool:
+    """Whether the text-lock-step driver applies to this pair.
+
+    Requires a Myers-eligible, all-packed pattern layout whose ``W``-bit
+    score counters can hold the longest text (scores reach the text
+    length when patterns and texts share no characters).
+    """
+    layout = myers_patterns(patterns_encoded)
+    if not layout.eligible:
+        return False
+    max_text = (
+        int(texts_encoded.lengths.max()) if len(texts_encoded) else 0
+    )
+    return all(
+        chunk.kind == "packed" and max_text <= chunk.capacity
+        for chunk in layout.chunks
+    )
+
+
+def myers_matrix_lockstep_into(
+    patterns_encoded, texts_encoded, out: np.ndarray
+) -> None:
+    """Fill ``out[i, j] = d(patterns[i], texts[j])``, lock-stepping texts.
+
+    The dual of :func:`myers_matrix_into` for the repo's dominant call
+    shape — a handful of packed patterns (sites) against a large text
+    batch (points).  Texts advance together in ascending length order
+    with a shrinking active suffix, so numpy-call overhead scales with
+    the longest text while element work stays ``Σ len(text) · words``,
+    and the one-time layout build lands on the tiny pattern side.
+    Unbounded only; callers gate on :func:`myers_lockstep_eligible`.
+    """
+    layout = myers_patterns(patterns_encoded)
+    if not layout.eligible:
+        raise ValueError("pattern collection is not Myers-eligible")
+    order = layout.order
+    if layout.n_empty:
+        out[order[: layout.n_empty]] = texts_encoded.lengths
+    if len(texts_encoded) == 0 or not layout.chunks:
+        return
+    # Radix-sorting a narrow key is ~8x faster than int64 for the short
+    # strings every workload has; lengths rarely exceed 16 bits.
+    tl = texts_encoded.lengths
+    sort_key = tl.astype(np.int16) if texts_encoded.max_length < (1 << 15) else tl
+    torder = np.argsort(sort_key, kind="stable")
+    tlen = tl[torder]
+    tsyms = layout.remap_codes(texts_encoded.codes[torder])
+    n_texts = tlen.shape[0]
+    blk = min(_LOCKSTEP_BLOCK_TEXTS, n_texts)
+    for chunk, (lo, hi) in zip(layout.chunks, layout.chunk_bounds):
+        # One scratch pool per chunk, reused across every block: fresh
+        # per-block buffers would spend more cold time page-faulting
+        # than computing.
+        scratch = np.empty(
+            (_PackedChunk.LOCKSTEP_BUFFERS, blk, chunk.n_words),
+            dtype=np.uint64,
+        )
+        for start in range(0, n_texts, _LOCKSTEP_BLOCK_TEXTS):
+            stop = min(start + _LOCKSTEP_BLOCK_TEXTS, n_texts)
+            chunk.distances_lockstep(
+                tsyms[start:stop],
+                tlen[start:stop],
+                out,
+                order[lo:hi],
+                torder[start:stop],
+                scratch,
+            )
+
+
+def _blocked_for_band(layout, lo, hi) -> _BlockedChunk:
+    """Rare path: a fresh blocked chunk for one packed length band."""
+    rows, cols, len_f, syms_f = layout._flat
+    a = int(layout._char_starts[lo])
+    b = int(layout._char_starts[hi])
+    return _BlockedChunk(
+        rows[a:b] - lo,
+        cols[a:b],
+        len_f[a:b],
+        syms_f[a:b],
+        layout.sorted_lengths[lo:hi],
+        layout.n_syms,
+    )

@@ -8,12 +8,19 @@ a padded ``uint32`` code-point matrix plus a length vector
 (:class:`EncodedStrings`), caches the encoding per collection, and
 computes whole distance *matrices* from the encoded form:
 
-- :func:`levenshtein_matrix` runs the Wagner–Fischer row DP vectorized
-  across the entire target batch: DP rows have transposed shape
-  ``(m + 1, batch)`` and the within-row insertion dependency is resolved
-  by a sequential pass over the short axis of contiguous batch-wide
-  minimums.  An optional ``max_distance`` adds an ``|len(a) - len(b)|``
-  lower-bound prefilter and early-exit pruning for range queries.
+- :func:`levenshtein_matrix` picks between two vectorized kernels per
+  call with an overhead-aware cost model (:func:`levenshtein_kernel_plan`):
+  the Myers bit-parallel kernels of :mod:`repro.metrics.bitparallel`
+  (O(m·⌈n/64⌉): the whole DP column lives in uint64 words, one numpy
+  step per text character) whenever the vectorized side's alphabet
+  admits a dense remap, and the Wagner–Fischer row DP (transposed
+  ``(m + 1, batch)`` rows, sequential insertion pass) otherwise.  Both
+  orientations of both kernels are costed; the Wagner–Fischer path
+  additionally re-chooses its loop side per length-sorted target chunk,
+  so bimodal-length collections cannot lock every chunk into one bad
+  orientation.  An optional ``max_distance`` adds an
+  ``|len(a) - len(b)|`` lower-bound prefilter and early-exit pruning
+  for range queries on either kernel.
 - :func:`hamming_matrix` and :func:`lcp_matrix` /
   :func:`prefix_distance_matrix` are fully vectorized broadcasts over the
   code matrices.
@@ -31,11 +38,14 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import bitparallel
+
 __all__ = [
     "EncodedStrings",
     "encode_strings",
     "clear_encoding_cache",
     "levenshtein_matrix",
+    "levenshtein_kernel_plan",
     "hamming_matrix",
     "lcp_matrix",
     "prefix_distance_matrix",
@@ -66,6 +76,22 @@ _PRUNE_EVERY = 16
 #: a handful of sites) toward looping the handful.
 _ROW_OVERHEAD_CELLS = 1 << 14
 
+#: Myers cost-model constants in the same cell-equivalent currency as
+#: :data:`_ROW_OVERHEAD_CELLS` (calibrated against benchmark timings of
+#: both kernels on the dictionary and gene workloads): fixed numpy-call
+#: overhead per text column, cell-equivalents per packed uint64 word per
+#: column, and the one-time ``Peq`` build cost per pattern character —
+#: charged only while the pattern side's layout is uncached, which steers
+#: small one-shot batches (tree frontiers) away from pointless builds.
+_MYERS_COL_OVERHEAD_CELLS = 1 << 13
+_MYERS_WORD_CELLS = 4
+_MYERS_BUILD_CELLS = 32
+
+#: Extra per-text-character charge of the lock-step Myers driver (sorting
+#: the text batch, one full-matrix remap, and the per-column ``Peq``
+#: gather), in the same cell-equivalent currency.
+_MYERS_LOCKSTEP_CHAR_CELLS = 8
+
 
 class EncodedStrings:
     """A string collection encoded once for batched kernels.
@@ -73,25 +99,30 @@ class EncodedStrings:
     ``codes`` is the ``(n, max_length)`` matrix of unicode code points
     (``uint32``), rows zero-padded past each string's length; ``lengths``
     holds the true lengths.  Instances are immutable and reusable across
-    every kernel call that touches the same collection.
+    every kernel call that touches the same collection.  ``myers`` lazily
+    holds the collection's bit-parallel layout
+    (:class:`repro.metrics.bitparallel.MyersPatterns`), so the expensive
+    ``Peq`` tables share the encoding cache's LRU lifetime.
     """
 
-    __slots__ = ("codes", "lengths", "total_chars")
+    __slots__ = ("codes", "lengths", "total_chars", "myers")
 
     def __init__(self, codes: np.ndarray, lengths: np.ndarray):
         self.codes = codes
         self.lengths = lengths
         self.total_chars = int(lengths.sum()) if lengths.size else 0
+        self.myers = None
 
     @classmethod
     def from_strings(cls, strings: Sequence[str]) -> "EncodedStrings":
-        """Encode a collection in one pass (one join, one buffer decode)."""
-        if not all(isinstance(s, str) for s in strings):
-            raise TypeError("EncodedStrings requires a collection of str")
+        """Encode a collection in one pass (one join, one buffer decode).
+
+        Non-``str`` members surface as :class:`TypeError` from ``len``
+        or ``str.join`` — no upfront type scan, which costs as much as
+        the join itself on a 10k-word collection.
+        """
         n = len(strings)
-        lengths = np.fromiter(
-            (len(s) for s in strings), dtype=np.int64, count=n
-        )
+        lengths = np.fromiter(map(len, strings), dtype=np.int64, count=n)
         total = int(lengths.sum()) if n else 0
         try:
             flat = np.frombuffer(
@@ -256,52 +287,167 @@ def _levenshtein_one_vs_many_bounded(
     return out
 
 
-def levenshtein_matrix(
+def _myers_words_estimate(lengths: np.ndarray) -> float:
+    """Estimate uint64 words per text column for a pattern side.
+
+    Mirrors the packing rules of :mod:`repro.metrics.bitparallel` without
+    building anything: short patterns share words (``64 // W`` per word),
+    long ones take ``⌈m/64⌉`` blocks each.
+    """
+    if lengths.size == 0:
+        return 1.0
+    # One bincount pass over the collection, then O(max_length) math on
+    # the histogram — the plan runs on every matrix call, so this must
+    # not scan a 10k-length vector several times.
+    hist = np.bincount(lengths.astype(np.int64, copy=False))[1:]
+    m = np.arange(1, hist.shape[0] + 1)
+    per = np.ceil(m / 64)
+    packed = m <= bitparallel.PACKED_MAX_LEN
+    per[packed] = 1.0 / (64 // np.maximum(m[packed] + 2, 8))
+    return max(float(hist @ per), 1.0)
+
+
+def _myers_cost_mode(
+    texts: EncodedStrings, patterns: EncodedStrings, bounded: bool
+) -> Tuple[float, str]:
+    """Cost (cell-equivalents) and driver mode of one Myers orientation.
+
+    The per-text driver pays the column overhead for every text
+    character; the lock-step driver pays it only ``max_text_length``
+    times (all texts share each column) plus a small per-character batch
+    overhead, which is why it wins the few-sites-vs-many-points shape by
+    an order of magnitude.  Lock-step has no bounded variant and needs a
+    packed-only pattern layout, so it is only priced when applicable.
+    """
+    words = _myers_words_estimate(patterns.lengths)
+    cost = texts.total_chars * (
+        _MYERS_COL_OVERHEAD_CELLS + _MYERS_WORD_CELLS * words
+    )
+    mode = "per-text"
+    if not bounded and patterns.max_length <= bitparallel.PACKED_MAX_LEN:
+        lock = texts.max_length * _MYERS_COL_OVERHEAD_CELLS + (
+            texts.total_chars
+            * (_MYERS_WORD_CELLS * words + _MYERS_LOCKSTEP_CHAR_CELLS)
+        )
+        if lock < cost:
+            cost, mode = lock, "lockstep"
+    if patterns.myers is None:
+        cost += _MYERS_BUILD_CELLS * max(patterns.total_chars, 1)
+    return cost, mode
+
+
+def levenshtein_kernel_plan(
     xs: EncodedStrings,
     ys: EncodedStrings,
-    max_distance: Optional[int] = None,
-) -> np.ndarray:
-    """The ``len(xs) x len(ys)`` Levenshtein matrix from encoded inputs.
+    kernel: Optional[str] = None,
+    bounded: bool = False,
+) -> Tuple[str, str]:
+    """Choose ``(kernel, loop_side)`` for one Levenshtein matrix call.
 
-    The DP loops over the characters of one side and vectorizes across
-    the other; each looped character costs one DP row — a fixed slice of
-    numpy-call overhead (modeled as :data:`_ROW_OVERHEAD_CELLS`) plus one
-    cell per target position — so orientation is chosen to minimize
-    ``total_chars * (overhead + batch_width)``.  A few sites against many
-    points therefore always loop over the sites: ~100 wide rows instead
-    of ~100k narrow ones at identical FLOPs.
+    Returns ``("myers" | "wagner-fischer", "x" | "y")`` where the loop
+    side is the one whose characters drive the sequential loop; the other
+    side is fully vectorized (and, for Myers, is the pattern collection
+    whose ``Peq`` layout gets built and cached).  All four combinations
+    are costed in cell-equivalents — Wagner–Fischer pays
+    ``total_chars * (row_overhead + batch * width)``, Myers pays
+    ``total_chars * (column_overhead + cells_per_word * words)`` (or the
+    lock-step driver's cheaper column bill when it applies) plus a
+    one-time build charge while the pattern layout is uncached — and the
+    cheapest eligible plan wins.  ``bounded`` tells the model a
+    ``max_distance`` pass is coming (the lock-step driver has no bounded
+    variant).  ``kernel`` forces one family: ``"myers"`` raises
+    :class:`ValueError` when neither orientation's alphabet fits the
+    dense-remap budget.
+    """
+    wf = [
+        (
+            xs.total_chars
+            * (_ROW_OVERHEAD_CELLS + max(1, len(ys)) * (ys.max_length + 1)),
+            "wagner-fischer",
+            "x",
+        ),
+        (
+            ys.total_chars
+            * (_ROW_OVERHEAD_CELLS + max(1, len(xs)) * (xs.max_length + 1)),
+            "wagner-fischer",
+            "y",
+        ),
+    ]
+    my = [
+        (_myers_cost_mode(xs, ys, bounded)[0], "myers", "x"),
+        (_myers_cost_mode(ys, xs, bounded)[0], "myers", "y"),
+    ]
+    if kernel == "wagner-fischer":
+        candidates = wf
+    elif kernel == "myers":
+        candidates = my
+    elif kernel in (None, "auto"):
+        candidates = wf + my
+    else:
+        raise ValueError(f"unknown Levenshtein kernel {kernel!r}")
+    for cost, name, side in sorted(candidates, key=lambda c: c[0]):
+        if name == "myers":
+            patterns = ys if side == "x" else xs
+            if not bitparallel.myers_eligible(patterns):
+                continue
+        return name, side
+    raise ValueError(
+        "kernel='myers' requested but neither side fits the dense-remap "
+        f"budget ({bitparallel.DENSE_ALPHABET_MAX} symbols)"
+    )
+
+
+def _wf_matrix_into(
+    queries: EncodedStrings,
+    targets: EncodedStrings,
+    out: np.ndarray,
+    max_distance: Optional[int],
+) -> None:
+    """Wagner–Fischer path: loop the queries over length-sorted target chunks.
 
     Targets are processed in length-sorted chunks (bounding the DP
     working set *and* trimming each chunk's rows to its own longest
     string, which skips most padding work on natural length
     distributions), transposed once per chunk and reused across every
-    query.  With ``max_distance`` set, entries whose true distance
-    exceeds it may be reported as any lower bound that also exceeds it
-    (see :func:`_levenshtein_one_vs_many_bounded`); entries at or under
-    the bound are exact either way.
+    query.  Each chunk re-checks the loop orientation against its own
+    width: under a bimodal target-length distribution the global choice
+    is wrong for one of the modes, so a chunk of giants amid short
+    targets flips to looping *its* strings against the full query side
+    instead of dragging every query through its width.
     """
-    cost_loop_x = xs.total_chars * (
-        _ROW_OVERHEAD_CELLS + max(1, len(ys)) * (ys.max_length + 1)
-    )
-    cost_loop_y = ys.total_chars * (
-        _ROW_OVERHEAD_CELLS + max(1, len(xs)) * (xs.max_length + 1)
-    )
-    if cost_loop_y < cost_loop_x:
-        return np.ascontiguousarray(
-            levenshtein_matrix(ys, xs, max_distance=max_distance).T
-        )
-    out = np.empty((len(xs), len(ys)), dtype=np.int64)
-    if len(xs) == 0 or len(ys) == 0:
-        return out
-    order = np.argsort(ys.lengths, kind="stable")
-    chunk = max(1, _TARGET_DP_CELLS // (ys.max_length + 1))
-    for start in range(0, len(ys), chunk):
+    order = np.argsort(targets.lengths, kind="stable")
+    chunk = max(1, _TARGET_DP_CELLS // (targets.max_length + 1))
+    n_q = len(queries)
+    q_codes_t = None
+    q_lengths = None
+    for start in range(0, len(targets), chunk):
         idx = order[start : start + chunk]
-        lengths = ys.lengths[idx].astype(np.int32)
+        lengths = targets.lengths[idx].astype(np.int32)
         width = int(lengths[-1])  # sorted: the chunk's longest string
-        codes_t = np.ascontiguousarray(ys.codes[idx, :width].T)
-        for i in range(len(xs)):
-            query = xs.row(i)
+        cost_loop_queries = queries.total_chars * (
+            _ROW_OVERHEAD_CELLS + idx.shape[0] * (width + 1)
+        )
+        cost_loop_chunk = int(lengths.sum()) * (
+            _ROW_OVERHEAD_CELLS + n_q * (queries.max_length + 1)
+        )
+        if cost_loop_chunk < cost_loop_queries:
+            if q_codes_t is None:
+                q_codes_t = np.ascontiguousarray(queries.codes.T)
+                q_lengths = queries.lengths.astype(np.int32)
+            for t in idx:
+                trow = targets.row(int(t))
+                if max_distance is None:
+                    out[:, t] = _levenshtein_one_vs_many(
+                        trow, q_codes_t, q_lengths
+                    )
+                else:
+                    out[:, t] = _levenshtein_one_vs_many_bounded(
+                        trow, q_codes_t, q_lengths, max_distance
+                    )
+            continue
+        codes_t = np.ascontiguousarray(targets.codes[idx, :width].T)
+        for i in range(n_q):
+            query = queries.row(i)
             if max_distance is None:
                 out[i, idx] = _levenshtein_one_vs_many(
                     query, codes_t, lengths
@@ -310,6 +456,52 @@ def levenshtein_matrix(
                 out[i, idx] = _levenshtein_one_vs_many_bounded(
                     query, codes_t, lengths, max_distance
                 )
+
+
+def levenshtein_matrix(
+    xs: EncodedStrings,
+    ys: EncodedStrings,
+    max_distance: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> np.ndarray:
+    """The ``len(xs) x len(ys)`` Levenshtein matrix from encoded inputs.
+
+    The kernel and orientation come from :func:`levenshtein_kernel_plan`:
+    the Myers bit-parallel kernels when the vectorized side's alphabet
+    admits a dense remap and the cost model favors them, the batched
+    Wagner–Fischer row DP otherwise (``kernel`` forces either family).
+    Both answers are exact and identical; only the cost differs.
+
+    With ``max_distance`` set, entries whose true distance exceeds it may
+    be reported as any lower bound that also exceeds it (length-gap
+    prefilters and mid-DP early exits in both kernels); entries at or
+    under the bound are exact either way.
+    """
+    out = np.empty((len(xs), len(ys)), dtype=np.int64)
+    if len(xs) == 0 or len(ys) == 0:
+        return out
+    bounded = max_distance is not None
+    name, side = levenshtein_kernel_plan(
+        xs, ys, kernel=kernel, bounded=bounded
+    )
+    if name == "myers":
+        if side == "x":
+            patterns, texts, target = ys, xs, out.T
+        else:
+            patterns, texts, target = xs, ys, out
+        _, mode = _myers_cost_mode(texts, patterns, bounded)
+        if mode == "lockstep" and bitparallel.myers_lockstep_eligible(
+            patterns, texts
+        ):
+            bitparallel.myers_matrix_lockstep_into(patterns, texts, target)
+        else:
+            bitparallel.myers_matrix_into(
+                patterns, texts, target, max_distance
+            )
+    elif side == "x":
+        _wf_matrix_into(xs, ys, out, max_distance)
+    else:
+        _wf_matrix_into(ys, xs, out.T, max_distance)
     return out
 
 

@@ -175,6 +175,55 @@ class TestTieHeavyMetricEquivalence:
         )
 
 
+@pytest.mark.parametrize("name", ["distperm", "vptree"])
+class TestMyersPathEquivalence:
+    """Batch/single equivalence with the Myers kernel demonstrably armed.
+
+    Gene-like strings (4-letter alphabet, lengths 40–90) make the cost
+    model pick the bit-parallel blocked kernel for every matrix the index
+    computes; DistPermIndex plus one tree then exercise build, k-NN,
+    range, and approximate queries end to end on that path.
+    """
+
+    @staticmethod
+    def _genes():
+        rng = np.random.default_rng(81)
+        letters = "acgt"
+        words = [
+            "".join(letters[i] for i in rng.integers(0, 4, size=n))
+            for n in rng.integers(40, 90, size=120)
+        ]
+        queries = [words[5][:50] + "tt", words[30], "acgt" * 12, ""]
+        return words, queries
+
+    def test_plan_picks_myers(self, name):
+        from repro.metrics.encoding import (
+            encode_strings,
+            levenshtein_kernel_plan,
+        )
+
+        words, queries = self._genes()
+        kernel, _ = levenshtein_kernel_plan(
+            encode_strings(queries), encode_strings(words)
+        )
+        assert kernel == "myers"
+
+    def test_batch_matches_loop(self, name):
+        words, queries = self._genes()
+        _assert_batch_matches_loop(
+            INDEX_FACTORIES[name], words, queries, LevenshteinDistance,
+            k=7, radius=30,
+        )
+
+    def test_knn_approx_batch_matches_loop(self, name):
+        words, queries = self._genes()
+        index = INDEX_FACTORIES[name](words, LevenshteinDistance())
+        looped = [index.knn_approx(q, 5, budget=40) for q in queries]
+        batched = index.knn_approx_batch(queries, 5, budget=40)
+        for single, batch in zip(looped, batched):
+            assert _signature(batch) == _signature(single)
+
+
 @pytest.mark.parametrize("name", INDEX_FACTORIES)
 class TestSelfQueryEquivalence:
     """Queries drawn from the database itself: the vectorized Euclidean

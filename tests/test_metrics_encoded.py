@@ -196,6 +196,40 @@ class TestLevenshteinBanded:
         assert np.array_equal(levenshtein_matrix(ex, ey), expected)
         assert np.array_equal(levenshtein_matrix(ey, ex), expected.T)
 
+    def test_bimodal_lengths_per_chunk_orientation(self):
+        # Adversarial shape for the Wagner–Fischer dispatch: many short
+        # targets plus a few giants.  A single global orientation choice
+        # drags every query through the giants' width; the fix re-checks
+        # orientation per length-sorted chunk.  Answers must be exact
+        # either way — this pins the dispatch path with a forced kernel.
+        rng = np.random.default_rng(13)
+        letters = "abc"
+        shorts = [
+            "".join(letters[i] for i in rng.integers(0, 3, size=3))
+            for _ in range(40)
+        ]
+        giants = [
+            "".join(letters[i] for i in rng.integers(0, 3, size=400))
+            for _ in range(3)
+        ]
+        xs = shorts[:12]
+        ys = shorts[12:] + giants
+        metric = LevenshteinDistance()
+        expected = scalar_matrix(metric, xs, ys)
+        ex, ey = encode_strings(xs), encode_strings(ys)
+        got = levenshtein_matrix(ex, ey, kernel="wagner-fischer")
+        assert np.array_equal(got, expected)
+        assert np.array_equal(
+            levenshtein_matrix(ey, ex, kernel="wagner-fischer"), expected.T
+        )
+        # The banded variant walks the same per-chunk dispatch.
+        banded = levenshtein_matrix(
+            ex, ey, max_distance=2, kernel="wagner-fischer"
+        )
+        inside = expected <= 2
+        assert np.array_equal(banded <= 2, inside)
+        assert np.array_equal(banded[inside], expected[inside])
+
 
 class TestCountingThroughEncodedPath:
     """The cost model is one evaluation per matrix entry, encoded or not."""
