@@ -18,6 +18,9 @@ Examples::
         --index distperm --mode knn-approx --k 10 --budget 200
     python -m repro search --input words.txt --kind strings \\
         --metric levenshtein --index vptree --shards 4 --workers 4
+    python -m repro search --input words.txt --kind strings \\
+        --metric levenshtein --shards 4 --resident \\
+        --deadline 0.5 --retries 2 --on-partial degrade
     python -m repro counterexample --points 1000000
     python -m repro figures
 
@@ -154,6 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--show", type=int, default=0,
                         help="print the results of the first N queries")
     _add_parallel_flags(search)
+    search.add_argument("--resident", action="store_true",
+                        help="serve shards from supervised pinned worker "
+                             "processes (crash recovery; requires "
+                             "--shards/--workers)")
+    search.add_argument("--deadline", type=float, default=None,
+                        help="per-query fan-out deadline in seconds "
+                             "(resident mode; default: unbounded)")
+    search.add_argument("--retries", type=int, default=None,
+                        help="extra attempts a failed shard gets on a "
+                             "respawned worker (resident mode; default 1)")
+    search.add_argument("--on-partial", choices=("raise", "degrade"),
+                        default=None,
+                        help="when retries/deadline run out: 'raise' keeps "
+                             "exact answers, 'degrade' merges the "
+                             "surviving shards (resident mode; "
+                             "default raise)")
 
     counter = commands.add_parser(
         "counterexample", help="re-run the Eq. 12 census (Section 5)"
@@ -436,16 +455,39 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     metric = _METRICS[args.metric]()
+    resilience_flags = (
+        args.deadline is not None
+        or args.retries is not None
+        or args.on_partial is not None
+    )
+    resident = args.resident or resilience_flags
     sharded = args.workers is not None or args.shards is not None
+    if resident and not sharded:
+        print("error: --resident/--deadline/--retries/--on-partial need "
+              "sharded execution; add --shards (or --workers)",
+              file=sys.stderr)
+        return 1
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be > 0", file=sys.stderr)
+        return 1
+    if args.retries is not None and args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 1
     if sharded:
         from functools import partial
 
         from repro.index import ShardedIndex
+        from repro.parallel.workerpool import QueryPolicy
 
         n_shards = (
             args.shards
             if args.shards is not None
             else max(1, args.workers or 1)
+        )
+        policy = QueryPolicy(
+            deadline=args.deadline,
+            retries=args.retries if args.retries is not None else 1,
+            on_partial=args.on_partial if args.on_partial else "raise",
         )
         index = ShardedIndex(
             points,
@@ -454,6 +496,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
                     pivots=args.pivots, seed=args.seed),
             n_shards=n_shards,
             workers=args.workers,
+            resident=resident,
+            policy=policy,
         )
     else:
         index = _build_search_index(args.index, points, metric, args)
@@ -484,11 +528,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         "knn-approx": f"k={min(args.k, len(points))} budget={args.budget}",
     }[args.mode]
     surface = "looped single-query" if args.no_batch else "batched"
-    layout = (
-        f", {index.n_shards} shards x {args.workers or 'serial'} workers"
-        if sharded
-        else ""
-    )
+    if sharded and resident:
+        layout = f", {index.n_shards} shards x resident workers"
+    elif sharded:
+        layout = f", {index.n_shards} shards x {args.workers or 'serial'} workers"
+    else:
+        layout = ""
     print(f"database: {args.input} ({len(points)} elements, "
           f"metric {metric.name})")
     print(f"index: {args.index} "
@@ -497,6 +542,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
           f"{report.n_queries} queries ({surface})")
     print(f"queries/sec: {report.queries_per_second:.1f}")
     print(f"distances/query: {report.distances_per_query:.1f}")
+    if report.degraded:
+        print(f"DEGRADED: merged answers cover {report.shards_answered} of "
+              f"{index.n_shards} shards (some shards missed the "
+              "deadline or crashed beyond retries)")
+    elif report.shards_answered is not None:
+        print(f"resilience: all {report.shards_answered} shards answered")
     for i in range(min(args.show, report.n_queries)):
         answers = ", ".join(
             f"{n.index}:{n.distance:.6g}" for n in report.results[i]

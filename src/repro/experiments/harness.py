@@ -150,7 +150,12 @@ class QueryWorkloadReport:
 
     ``results[i]`` is the answer list for ``queries[i]``; the two cost
     measures are distance evaluations per query (hardware-independent)
-    and queries per second (wall clock).
+    and queries per second (wall clock).  ``degraded`` /
+    ``shards_answered`` mirror the index's resilience stats after the
+    workload (resident sharded execution only — ``shards_answered`` is
+    ``None`` elsewhere): whether any answer in this workload was merged
+    from fewer than all shards, and how many shards the last fan-out
+    heard from.
     """
 
     kind: str
@@ -158,6 +163,8 @@ class QueryWorkloadReport:
     elapsed_seconds: float
     distance_evaluations: int
     results: Tuple[Tuple[Neighbor, ...], ...]
+    degraded: bool = False
+    shards_answered: Optional[int] = None
 
     @property
     def queries_per_second(self) -> float:
@@ -186,6 +193,8 @@ def run_query_workload(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     inner_factory: Optional[Callable[[Sequence[Any], Metric], Index]] = None,
+    resident: bool = False,
+    policy=None,
 ) -> QueryWorkloadReport:
     """Drive a query set through an index and report both cost measures.
 
@@ -203,9 +212,21 @@ def run_query_workload(
     indexes of the same type, or of ``inner_factory``; the rebuild cost
     is not part of the report).  Exact answers are identical either way;
     the wrapper's pool and shared memory are released before returning.
+    ``resident`` / ``policy`` select and configure the supervised
+    worker runtime for the wrapper (see
+    :mod:`repro.parallel.workerpool`); after the workload, inspect
+    ``index.stats.degraded`` / ``shards_answered`` for whether any
+    answer was partial.
     """
     if kind not in ("knn", "range", "knn-approx"):
         raise ValueError(f"unknown workload kind {kind!r}")
+    if (resident or policy is not None) and (
+        shards is None and workers is None
+    ) and not isinstance(index, ShardedIndex):
+        raise ValueError(
+            "resident/policy require sharded execution: pass shards= "
+            "(or workers=), or a ShardedIndex built with resident=True"
+        )
     wrapped: Optional[ShardedIndex] = None
     if (shards is not None or workers is not None) and not isinstance(
         index, ShardedIndex
@@ -238,6 +259,8 @@ def run_query_workload(
             n_shards=shards if shards is not None else max(1, workers or 1),
             workers=workers,
             inner_factory=inner_factory,
+            resident=resident,
+            policy=policy,
         )
         index = wrapped
     try:
@@ -285,6 +308,8 @@ def _run_workload(
         elapsed_seconds=elapsed,
         distance_evaluations=index.stats.query_distances,
         results=tuple(tuple(r) for r in results),
+        degraded=index.stats.degraded,
+        shards_answered=index.stats.shards_answered,
     )
 
 

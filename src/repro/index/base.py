@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.metrics.base import CountingMetric, Metric
 
@@ -52,11 +52,26 @@ class Neighbor:
 
 @dataclass
 class SearchStats:
-    """Distance evaluations spent building and querying an index."""
+    """Distance evaluations spent building and querying an index.
+
+    The last three fields report on *resilience* and are populated only
+    by sharded resident-mode queries
+    (:class:`~repro.index.sharded.ShardedIndex` over a supervised worker
+    pool): ``shards_answered`` counts the shards whose answers made the
+    most recent merge, ``degraded`` is ``True`` when any query since the
+    last :meth:`~Index.reset_stats` returned without all shards (a
+    partial answer under ``on_partial="degrade"``), and
+    ``shard_latencies_s`` holds the most recent fan-out's per-shard wall
+    latencies (``None`` entries for shards that never answered).
+    Elsewhere they stay at their defaults.
+    """
 
     build_distances: int = 0
     query_distances: int = 0
     queries: int = 0
+    shards_answered: Optional[int] = None
+    degraded: bool = False
+    shard_latencies_s: Optional[Tuple[Optional[float], ...]] = None
 
     @property
     def distances_per_query(self) -> float:
@@ -238,6 +253,9 @@ class Index(ABC):
         """Zero the query-cost accounts (build cost is preserved)."""
         self.stats.query_distances = 0
         self.stats.queries = 0
+        self.stats.shards_answered = None
+        self.stats.degraded = False
+        self.stats.shard_latencies_s = None
         self.metric.reset()
 
     def __len__(self) -> int:

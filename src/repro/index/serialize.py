@@ -23,6 +23,8 @@ index answers queries (serially or across a worker pool, per the
 
 from __future__ import annotations
 
+import math
+import os
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
@@ -35,12 +37,48 @@ from repro.index.distperm import DistPermIndex
 from repro.index.sharded import ShardedIndex
 from repro.metrics.base import Metric
 
-__all__ = ["save_distperm", "load_distperm", "save_sharded", "load_sharded"]
+__all__ = [
+    "PayloadCorruptError",
+    "save_distperm",
+    "load_distperm",
+    "save_sharded",
+    "load_sharded",
+    "read_shard_payload",
+    "restore_shard",
+]
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 2
 _SHARDED_FORMAT_VERSION = 2
+
+
+class PayloadCorruptError(ValueError):
+    """A saved payload failed decode validation: bit rot, truncation, or
+    a wrong-width pack.
+
+    ``shard`` names the payload's shard key (``"s3"``; ``None`` for an
+    unsharded payload) and ``byte_offset`` locates the damage inside the
+    shard's packed code stream: the first byte whose decoded code failed
+    validation for a bit flip, the (short) buffer length for a
+    truncation, and 0 for a header-level mismatch such as a wrong pack
+    width.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: Optional[str] = None,
+        byte_offset: int = 0,
+    ):
+        where = shard if shard is not None else "unsharded payload"
+        super().__init__(
+            f"corrupt payload [{where}, byte offset {byte_offset}]: "
+            f"{message}"
+        )
+        self.shard = shard
+        self.byte_offset = byte_offset
 
 
 def _distperm_payload(index: DistPermIndex) -> Dict[str, np.ndarray]:
@@ -71,13 +109,19 @@ def _distperm_payload(index: DistPermIndex) -> Dict[str, np.ndarray]:
 
 
 def _restore_distperm(
-    payload: Dict[str, np.ndarray], points: Sequence, metric: Metric
+    payload: Dict[str, np.ndarray],
+    points: Sequence,
+    metric: Metric,
+    shard: Optional[str] = None,
 ) -> DistPermIndex:
     """Rebuild one DistPermIndex from a payload, without build distances.
 
     ``points`` must be the database the payload describes; a mismatched
     database is detected by re-deriving one site permutation and
-    comparing.
+    comparing.  Damaged packed-code data — wrong pack width, truncated
+    buffer, decoded codes outside ``[0, k!)`` — raises
+    :class:`PayloadCorruptError` naming ``shard`` and the byte offset of
+    the damage.
     """
     site_indices = [int(i) for i in payload["site_indices"]]
     count = int(payload["count"])
@@ -108,10 +152,24 @@ def _restore_distperm(
     index.sites = [points[i] for i in site_indices]
     if "codes_packed" in payload:
         bit_width = int(payload["bit_width"])
+        expected_width = bits_full_permutation(k)
+        if bit_width != expected_width:
+            raise PayloadCorruptError(
+                f"pack width {bit_width} does not match the "
+                f"{expected_width}-bit Corollary-8 width for k={k}",
+                shard=shard,
+            )
         packed = np.asarray(
             payload["codes_packed"], dtype=np.uint8
         ).tobytes()
-        index.codes = unpack_ids(packed, bit_width, count)
+        try:
+            index.codes = unpack_ids(packed, bit_width, count)
+        except ValueError as exc:
+            raise PayloadCorruptError(
+                f"packed code stream truncated ({exc})",
+                shard=shard,
+                byte_offset=len(packed),
+            ) from exc
     else:
         perms = np.asarray(payload["perm_matrix"]).astype(np.int64)
         index.codes = encode_permutations(perms)
@@ -120,7 +178,18 @@ def _restore_distperm(
     )
     # decode validates every table code against k! — corrupt payloads
     # (bit rot, wrong bit_width) fail loudly here.
-    index.table = decode_permutations(index.table_codes, k)
+    try:
+        index.table = decode_permutations(index.table_codes, k)
+    except ValueError as exc:
+        limit = math.factorial(k)
+        bad = np.nonzero(np.asarray(index.codes) >= limit)[0]
+        first_bad = int(bad[0]) if bad.size else 0
+        bit_width = int(payload.get("bit_width", 0))
+        raise PayloadCorruptError(
+            f"element {first_bad} decodes outside [0, {k}!) ({exc})",
+            shard=shard,
+            byte_offset=first_bad * bit_width // 8,
+        ) from exc
     # Rebuild the derived caches of _build (the batched knn_approx path
     # reads _perm_positions; loading must leave no attribute behind).
     index._cache_perm_positions()
@@ -188,12 +257,50 @@ def save_sharded(path: PathLike, index: ShardedIndex) -> None:
     np.savez_compressed(path, **arrays)
 
 
+def read_shard_payload(path: PathLike, shard: int) -> Dict[str, np.ndarray]:
+    """Read one shard's payload dict back out of a sharded ``.npz``.
+
+    The re-load primitive behind resident-worker respawns: a worker
+    that must rebuild shard ``shard`` reads only that shard's packed
+    codes (the ``s<shard>_`` keys), never the other shards or the
+    database.
+    """
+    prefix = f"s{shard}_"
+    with np.load(path) as data:
+        payload = {
+            key[len(prefix):]: data[key]
+            for key in data.files
+            if key.startswith(prefix)
+        }
+    if not payload:
+        raise ValueError(f"no shard s{shard} in payload file {path}")
+    return payload
+
+
+def restore_shard(
+    payload: Dict[str, np.ndarray],
+    points: Sequence,
+    metric: Metric,
+    *,
+    shard: int,
+) -> DistPermIndex:
+    """Rebuild one shard's inner index from its payload dict.
+
+    ``points`` is the shard's own slice of the database.  Corrupt
+    payloads raise :class:`PayloadCorruptError` naming shard ``s<shard>``.
+    """
+    return _restore_distperm(payload, points, metric, shard=f"s{shard}")
+
+
 def load_sharded(
     path: PathLike,
     points: Sequence,
     metric: Metric,
     *,
     workers: Optional[int] = None,
+    resident: bool = False,
+    policy=None,
+    faults=None,
 ) -> ShardedIndex:
     """Reconstruct a sharded permutation index from a saved payload.
 
@@ -201,7 +308,12 @@ def load_sharded(
     restored against its own contiguous slice (with the same probe check
     as :func:`load_distperm`) and no build distances are recomputed.
     ``workers`` selects the loaded index's execution backend, independent
-    of how the saved index ran.
+    of how the saved index ran; ``resident`` / ``policy`` / ``faults``
+    configure the supervised worker runtime exactly as on
+    :class:`~repro.index.sharded.ShardedIndex` — resident workers of a
+    disk-backed index reload their shard from this payload file on every
+    respawn.  Corrupt shard data raises :class:`PayloadCorruptError`
+    naming the shard key and byte offset.
     """
     with np.load(path) as data:
         version = int(data["version"])
@@ -233,11 +345,12 @@ def load_sharded(
     index.stats = SearchStats()
     index._inner_factory = DistPermIndex
     index._requested_shards = n_shards
-    index._init_runtime(workers)
+    index._init_runtime(workers, resident, policy, faults)
+    index._payload_path = os.fspath(path)
     index.shard_offsets = offsets
     index.shards = [
         _restore_distperm(
-            payload, points[offsets[j] : offsets[j + 1]], metric
+            payload, points[offsets[j] : offsets[j + 1]], metric, shard=f"s{j}"
         )
         for j, payload in enumerate(payloads)
     ]

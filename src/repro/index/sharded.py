@@ -34,6 +34,18 @@ shard replicas, published once as shared-memory payloads rather than
 re-shipped per call.  Results are deterministic — identical across
 ``workers`` settings — because the fan-out/merge is ordered by shard.
 
+``resident=True`` selects a third query engine: the supervised
+worker-pool runtime (:mod:`repro.parallel.workerpool`).  One pinned
+process per shard holds that shard resident — bounding memory to one
+shard copy per worker, where the stateless pool can replicate up to
+``S`` shards into each — and the fan-out enforces the index's
+:class:`~repro.parallel.workerpool.QueryPolicy`: per-query deadlines,
+crash detection, respawn-and-retry, and (under
+``on_partial="degrade"``) honest partial answers merged from the
+surviving shards, with :class:`~repro.index.base.SearchStats` carrying
+``shards_answered`` / ``degraded`` / per-shard latencies.  Builds still
+use ``workers``; residency is a query-path property.
+
 Two practical notes: inner factories must be picklable for pool
 execution (a class, ``functools.partial``, or module-level function, not
 a lambda) and deterministic (seed any randomness inside the factory, do
@@ -52,7 +64,14 @@ from repro.index.linear import LinearScan
 from repro.metrics.base import Metric
 from repro.parallel.census import shard_ranges
 from repro.parallel.executor import Executor, get_executor, serial_workers
+from repro.parallel.faults import FaultSpec
 from repro.parallel.sharedmem import SharedDataset
+from repro.parallel.workerpool import (
+    FileShardSource,
+    QueryPolicy,
+    ShmShardSource,
+    WorkerPool,
+)
 
 __all__ = ["ShardedIndex", "shard_index"]
 
@@ -116,6 +135,13 @@ class ShardedIndex(Index):
     both builds and queries).  Close the index (or use it as a context
     manager) when a pool is attached, to release worker processes and
     shared-memory payloads.
+
+    ``resident=True`` serves queries from one supervised, pinned worker
+    process per shard (see :mod:`repro.parallel.workerpool`); ``policy``
+    is the :class:`~repro.parallel.workerpool.QueryPolicy` those
+    fan-outs enforce (default: unbounded deadline, one retry, exact
+    answers) and ``faults`` injects deterministic worker failures for
+    tests and benches (default: read from ``REPRO_FAULTS``).
     """
 
     def __init__(
@@ -126,20 +152,44 @@ class ShardedIndex(Index):
         *,
         n_shards: int = 4,
         workers: Optional[int] = None,
+        resident: bool = False,
+        policy: Optional[QueryPolicy] = None,
+        faults: Optional[Sequence[FaultSpec]] = None,
     ):
         if n_shards < 1:
             raise ValueError(f"need n_shards >= 1, got {n_shards}")
         self._inner_factory = inner_factory
         self._requested_shards = n_shards
-        self._init_runtime(workers)
-        super().__init__(points, metric)
+        self._init_runtime(workers, resident, policy, faults)
+        try:
+            super().__init__(points, metric)
+        except BaseException:
+            # A failed build (or a worker-pool spawn failure) must not
+            # strand shared-memory segments or child processes behind a
+            # half-constructed object only ``__del__`` might reap.
+            self.close()
+            raise
 
-    def _init_runtime(self, workers) -> None:
+    def _init_runtime(
+        self, workers, resident=False, policy=None, faults=None
+    ) -> None:
         """Set the execution-state attributes (also used by the loader)."""
         serial_workers(workers)  # validate the spec early
+        if policy is not None and not isinstance(policy, QueryPolicy):
+            raise TypeError(
+                f"policy must be a QueryPolicy, got {type(policy).__name__}"
+            )
         self._workers = workers
+        self._resident = bool(resident)
+        self._policy = policy if policy is not None else QueryPolicy()
+        self._faults = faults
         self._executor: Optional[Executor] = None
         self._query_payloads: Optional[List[SharedDataset]] = None
+        self._worker_pool: Optional[WorkerPool] = None
+        self._points_payload: Optional[SharedDataset] = None
+        #: Set by the loader for disk-backed indexes; resident workers
+        #: then reload shard state from this payload file on respawn.
+        self._payload_path: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Build.
@@ -189,6 +239,40 @@ class ShardedIndex(Index):
             self._executor = get_executor(self._workers)
         return self._executor
 
+    def _ensure_worker_pool(self) -> WorkerPool:
+        """Spawn the pinned worker-per-shard pool on first resident query.
+
+        Each worker gets a *source* it can reload its shard from on
+        every (re)spawn: the owner's shared-memory publication of the
+        built shard, or — for disk-backed indexes restored by
+        ``load_sharded`` — the Corollary-8 payload file plus a
+        shared-memory view of the full point set (so respawns reread
+        only the packed codes, never the database).
+        """
+        if self._worker_pool is None:
+            if self._payload_path is not None:
+                if self._points_payload is None:
+                    self._points_payload = SharedDataset.publish(self.points)
+                raw_metric = self.metric.inner
+                sources: List[Any] = [
+                    FileShardSource(
+                        self._payload_path,
+                        s,
+                        self._points_payload,
+                        self.shard_offsets[s],
+                        self.shard_offsets[s + 1],
+                        raw_metric,
+                    )
+                    for s in range(self.n_shards)
+                ]
+            else:
+                sources = [
+                    ShmShardSource(payload)
+                    for payload in self._publish_shards()
+                ]
+            self._worker_pool = WorkerPool(sources, faults=self._faults)
+        return self._worker_pool
+
     def _split_budget(self, k: int, budget: Optional[int]) -> List[Optional[int]]:
         """Per-shard budgets, proportional to shard size (rounded up).
 
@@ -220,11 +304,28 @@ class ShardedIndex(Index):
         shards per query (the public API's final sort restores the global
         order, identical to the unsharded index).  Evaluation deltas from
         every shard are charged to this index's counter.
+
+        Resident mode adds the failure semantics: shards that failed
+        past the policy's retry/deadline bounds come back as ``None``
+        under ``on_partial="degrade"`` and are simply absent from the
+        merge — a *subset* answer, flagged via ``stats.degraded`` /
+        ``stats.shards_answered`` rather than returned silently.
         """
         budgets = self._split_budget(arg, budget) if op == "knn-approx" else (
             [None] * self.n_shards
         )
-        if serial_workers(self._workers):
+        if self._resident:
+            pool = self._ensure_worker_pool()
+            per_shard, deltas, latencies = pool.query(
+                op, queries, arg, budgets, self._policy
+            )
+            self.metric.count += sum(deltas)
+            answered = sum(1 for r in per_shard if r is not None)
+            self.stats.shards_answered = answered
+            self.stats.shard_latencies_s = tuple(latencies)
+            if answered < self.n_shards:
+                self.stats.degraded = True
+        elif serial_workers(self._workers):
             per_shard = []
             for shard, shard_budget in zip(self.shards, budgets):
                 before = shard.metric.count
@@ -263,6 +364,8 @@ class ShardedIndex(Index):
         for q in range(len(queries)):
             row: List[Neighbor] = []
             for s, results in enumerate(per_shard):
+                if results is None:  # degraded: this shard never answered
+                    continue
                 offset = self.shard_offsets[s]
                 row.extend(
                     Neighbor(neighbor.distance, neighbor.index + offset)
@@ -272,11 +375,20 @@ class ShardedIndex(Index):
         return merged
 
     def _publish_shards(self) -> List[SharedDataset]:
-        """Publish each built shard once for pool workers to replicate."""
+        """Publish each built shard once for pool workers to replicate.
+
+        Publication is resumable: payloads append to the tracked list as
+        they are created, so if one publish fails (``/dev/shm`` full,
+        say) the ones already made stay reachable through ``close()``
+        instead of leaking behind a local variable, and a retry picks up
+        where the failure left off.
+        """
         if self._query_payloads is None:
-            self._query_payloads = [
-                SharedDataset.publish(shard) for shard in self.shards
-            ]
+            self._query_payloads = []
+        while len(self._query_payloads) < len(self.shards):
+            self._query_payloads.append(
+                SharedDataset.publish(self.shards[len(self._query_payloads)])
+            )
         return self._query_payloads
 
     # ------------------------------------------------------------------
@@ -315,14 +427,30 @@ class ShardedIndex(Index):
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the worker pool and shared-memory payloads (idempotent)."""
-        if self._query_payloads is not None:
-            for payload in self._query_payloads:
-                payload.unlink()
+        """Release workers and shared-memory payloads (idempotent).
+
+        Safe on partially-built indexes: a constructor that failed
+        mid-build calls this before re-raising, at which point any
+        subset of the runtime attributes may exist — hence the
+        ``getattr`` reads rather than attribute access.
+        """
+        pool = getattr(self, "_worker_pool", None)
+        if pool is not None:
+            self._worker_pool = None
+            pool.close()
+        payloads = getattr(self, "_query_payloads", None)
+        if payloads is not None:
             self._query_payloads = None
-        if self._executor is not None:
-            self._executor.close()
+            for payload in payloads:
+                payload.unlink()
+        points_payload = getattr(self, "_points_payload", None)
+        if points_payload is not None:
+            self._points_payload = None
+            points_payload.unlink()
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
             self._executor = None
+            executor.close()
 
     def __enter__(self) -> "ShardedIndex":
         return self
@@ -350,6 +478,9 @@ def shard_index(
     n_shards: int,
     workers: Optional[int] = None,
     inner_factory: Optional[InnerFactory] = None,
+    resident: bool = False,
+    policy: Optional[QueryPolicy] = None,
+    faults: Optional[Sequence[FaultSpec]] = None,
 ) -> ShardedIndex:
     """Wrap an existing index's database in a :class:`ShardedIndex`.
 
@@ -358,6 +489,8 @@ def shard_index(
     more than ``(points, metric)`` — pivot counts, site counts, seeds —
     should pass an explicit ``inner_factory`` (e.g. a
     ``functools.partial``) to control those parameters per shard.
+    ``resident`` / ``policy`` / ``faults`` select and configure the
+    supervised worker runtime exactly as on :class:`ShardedIndex`.
     """
     factory = inner_factory if inner_factory is not None else type(index)
     return ShardedIndex(
@@ -366,4 +499,7 @@ def shard_index(
         factory,
         n_shards=n_shards,
         workers=workers,
+        resident=resident,
+        policy=policy,
+        faults=faults,
     )

@@ -8,7 +8,12 @@ Every layer above the metrics parallelizes through this package:
   matrices, encoded string collections, and arbitrary payloads to pool
   workers via :mod:`multiprocessing.shared_memory`;
 - :mod:`repro.parallel.census` — the sharded, exactly-mergeable
-  permutation census behind Tables 2–3 and ``repro census``.
+  permutation census behind Tables 2–3 and ``repro census``;
+- :mod:`repro.parallel.workerpool` — the supervised shard-resident
+  worker runtime: pinned worker-per-shard processes with per-query
+  deadlines, crash detection, and respawn-with-backoff recovery;
+- :mod:`repro.parallel.faults` — deterministic fault injection (kill /
+  stall / corrupt-reply) for rehearsing the supervision paths.
 
 The sharded index itself lives with its peers in
 :mod:`repro.index.sharded`.
@@ -22,17 +27,39 @@ from repro.parallel.executor import (
     get_executor,
     serial_workers,
 )
-from repro.parallel.sharedmem import SharedArray, SharedDataset, decode_strings
+from repro.parallel.faults import FaultSpec, faults_from_env, parse_faults
+from repro.parallel.sharedmem import (
+    SharedArray,
+    SharedDataset,
+    decode_strings,
+    sweep_stale_segments,
+)
+from repro.parallel.workerpool import (
+    QueryPolicy,
+    ShardCrashError,
+    ShardFaultError,
+    ShardTimeoutError,
+    WorkerPool,
+)
 
 __all__ = [
     "Executor",
+    "FaultSpec",
     "ProcessExecutor",
+    "QueryPolicy",
     "SerialExecutor",
+    "ShardCrashError",
+    "ShardFaultError",
+    "ShardTimeoutError",
     "SharedArray",
     "SharedDataset",
+    "WorkerPool",
     "decode_strings",
+    "faults_from_env",
     "get_executor",
+    "parse_faults",
     "serial_workers",
     "shard_ranges",
     "sharded_census",
+    "sweep_stale_segments",
 ]

@@ -91,6 +91,13 @@ class SerialExecutor(Executor):
 def _default_context() -> multiprocessing.context.BaseContext:
     method = os.environ.get("REPRO_MP_CONTEXT")
     if method:
+        available = multiprocessing.get_all_start_methods()
+        if method not in available:
+            raise ValueError(
+                f"REPRO_MP_CONTEXT={method!r} is not a start method on "
+                f"this platform; choose one of {', '.join(available)} "
+                f"(or unset it for the default)"
+            )
         return multiprocessing.get_context(method)
     try:
         context = multiprocessing.get_context("forkserver")
@@ -108,8 +115,10 @@ class ProcessExecutor(Executor):
 
     Tasks are submitted in order and results gathered in the same order,
     so callers see identical result sequences no matter how the pool
-    interleaves execution.  The first task exception propagates after the
-    pool is drained.
+    interleaves execution.  The first task exception propagates after
+    the still-pending tasks are cancelled — a failing build does not sit
+    behind the rest of the batch, and no child is left running work
+    whose result can never be consumed.
     """
 
     def __init__(self, workers: int):
@@ -128,7 +137,16 @@ class ProcessExecutor(Executor):
         if self._pool is None:
             raise RuntimeError("executor is closed")
         futures = [self._pool.submit(fn, *task) for task in tasks]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            # In-flight tasks cannot be cancelled; wait them out so the
+            # error propagates with the pool quiescent and no orphan
+            # children still computing.
+            concurrent.futures.wait(futures)
+            raise
 
     def close(self) -> None:
         if self._pool is not None:

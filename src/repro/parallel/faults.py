@@ -1,0 +1,162 @@
+"""Deterministic fault injection for the shard-resident worker runtime.
+
+Supervision code is only trustworthy if its failure paths run on every
+CI invocation, not just when the scheduler happens to misbehave.  This
+module gives the worker runtime (:mod:`repro.parallel.workerpool`) a
+deterministic way to make a *chosen* worker fail on a *chosen* request:
+
+- ``kill``   — the worker SIGKILLs itself (an uncatchable crash: the
+  supervisor sees the process sentinel, exactly as for an OOM kill);
+- ``stall``  — the worker sleeps ``stall_s`` seconds before answering (a
+  hang: only a deadline can detect it);
+- ``corrupt``— the worker sends a malformed reply (wire corruption /
+  worker gone insane: the reply fails validation in the supervisor).
+
+Faults are addressed by ``(shard, request, generation)``: the Nth query
+request handled by the worker pinned to ``shard`` in its
+``generation``-th incarnation (0 = the original process, 1 = the first
+respawn, ...).  Keying on the generation is what makes injection
+deterministic end to end: a respawned worker starts a fresh request
+counter, and a spec written for generation 0 does **not** re-fire after
+recovery — so a recovery test converges instead of crash-looping.
+
+Specs come from the constructor (tests, benches) or from the
+``REPRO_FAULTS`` environment variable, a comma-separated list of
+``kind:shard=I:request=N[:stall_s=S][:generation=G]`` items, e.g.::
+
+    REPRO_FAULTS="kill:shard=1:request=3" repro search ... --resident
+
+The injector itself lives *inside* the worker process and is exercised
+by the same code path real requests take.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultSpec",
+    "FaultInjector",
+    "parse_faults",
+    "faults_from_env",
+]
+
+#: Environment variable holding fault specs for the worker runtime.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_KINDS = ("kill", "stall", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: make ``shard``'s worker fail on one request.
+
+    ``request`` is 1-based and counts only query requests (pings and
+    shutdowns are never faulted); ``generation`` selects which
+    incarnation of the worker fires (respawns increment it, so the
+    default 0 means "the original process only").
+    """
+
+    kind: str
+    shard: int
+    request: int
+    stall_s: float = 30.0
+    generation: int = 0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if self.shard < 0:
+            raise ValueError(f"fault shard must be >= 0, got {self.shard}")
+        if self.request < 1:
+            raise ValueError(
+                f"fault request is 1-based, got {self.request}"
+            )
+        if self.stall_s < 0:
+            raise ValueError(f"stall_s must be >= 0, got {self.stall_s}")
+        if self.generation < 0:
+            raise ValueError(
+                f"fault generation must be >= 0, got {self.generation}"
+            )
+
+
+def parse_faults(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS`` string into fault specs.
+
+    Format: comma-separated ``kind:shard=I:request=N`` items with
+    optional ``:stall_s=S`` and ``:generation=G`` fields; whitespace
+    around items is ignored, an empty string means no faults.
+    """
+    specs = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        fields = item.split(":")
+        kind = fields[0].strip()
+        values = {}
+        for field in fields[1:]:
+            key, sep, value = field.partition("=")
+            key = key.strip()
+            if not sep or key not in (
+                "shard", "request", "stall_s", "generation"
+            ):
+                raise ValueError(
+                    f"bad fault field {field!r} in {item!r} (expected "
+                    "shard=I, request=N, stall_s=S, or generation=G)"
+                )
+            try:
+                values[key] = (
+                    float(value) if key == "stall_s" else int(value)
+                )
+            except ValueError:
+                raise ValueError(
+                    f"bad fault value {value!r} for {key} in {item!r}"
+                ) from None
+        if "shard" not in values or "request" not in values:
+            raise ValueError(
+                f"fault {item!r} needs both shard= and request= fields"
+            )
+        specs.append(FaultSpec(kind=kind, **values))
+    return tuple(specs)
+
+
+def faults_from_env() -> Tuple[FaultSpec, ...]:
+    """Fault specs from ``REPRO_FAULTS`` (empty when unset)."""
+    return parse_faults(os.environ.get(FAULTS_ENV, ""))
+
+
+class FaultInjector:
+    """Worker-resident request counter that fires matching fault specs.
+
+    One injector per worker incarnation: ``next_action()`` is called
+    once per query request and returns the spec to enact (or ``None``).
+    When several specs match one request, the first wins.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        *,
+        shard: int,
+        generation: int,
+    ):
+        self._specs = [
+            spec
+            for spec in specs
+            if spec.shard == shard and spec.generation == generation
+        ]
+        self._requests = 0
+
+    def next_action(self) -> Optional[FaultSpec]:
+        """Advance the request counter; return the fault to enact, if any."""
+        self._requests += 1
+        for spec in self._specs:
+            if spec.request == self._requests:
+                return spec
+        return None

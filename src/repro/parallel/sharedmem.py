@@ -23,23 +23,116 @@ tasks touch it.  The publishing process owns the segments: call
 workers are done.  In the publishing process itself ``resolve()``
 returns the original object — the serial executor never touches shared
 memory at all.
+
+Segment names encode the owner: ``repro-{pid}-{hex}``.  That makes
+leaks attributable (an ``ls /dev/shm`` names the guilty process) and
+recoverable — every owned segment is registered for ``atexit`` cleanup,
+and :func:`sweep_stale_segments` unlinks ``repro-*`` segments whose
+owning pid is gone, so a SIGKILL'd owner cannot permanently strand
+shared memory for the processes that come after it.  The first publish
+in a process runs the sweep once, opportunistically.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
 import pickle
+import re
+import secrets
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SharedArray", "SharedDataset", "decode_strings"]
+__all__ = [
+    "SharedArray",
+    "SharedDataset",
+    "decode_strings",
+    "sweep_stale_segments",
+]
 
 #: Per-process cache of attached segments: name -> (SharedMemory, ndarray).
 _ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 
 #: Per-process cache of resolved datasets: lead segment name -> points.
 _RESOLVED: Dict[str, Any] = {}
+
+#: Segments this process published and has not yet unlinked.
+_OWNED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Owner-encoding segment name: repro-{pid}-{hex}.
+_SEGMENT_RE = re.compile(r"^repro-(\d+)-[0-9a-f]+$")
+
+_SWEPT = False
+
+
+def _segment_name() -> str:
+    """A fresh segment name encoding the owning pid."""
+    return f"repro-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def _cleanup_owned() -> None:
+    """Unlink every still-owned segment (atexit: owner is going away)."""
+    for name in list(_OWNED):
+        shm = _OWNED.pop(name, None)
+        if shm is None:
+            continue
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+atexit.register(_cleanup_owned)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, owned by someone else
+        return True
+    return True
+
+
+def sweep_stale_segments(root: str = "/dev/shm") -> List[str]:
+    """Unlink ``repro-*`` segments whose owning process is dead.
+
+    Crashed owners (SIGKILL, OOM) never run their ``atexit`` hooks, so
+    their segments survive in ``/dev/shm`` until reboot.  Each segment
+    name carries the owner's pid; any segment whose pid no longer exists
+    is unlinked here.  Returns the names removed.  A no-op (empty list)
+    where ``root`` does not exist — shared memory is then backed by some
+    other mechanism and no stale-name inventory is available.
+    """
+    removed = []
+    try:
+        entries = os.listdir(root)
+    except OSError:
+        return removed
+    for entry in entries:
+        match = _SEGMENT_RE.match(entry)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(root, entry))
+            removed.append(entry)
+        except OSError:
+            continue
+    return removed
+
+
+def _sweep_once() -> None:
+    global _SWEPT
+    if not _SWEPT:
+        _SWEPT = True
+        sweep_stale_segments()
 
 
 def _attach(name: str, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
@@ -110,10 +203,19 @@ class SharedArray:
 
     @classmethod
     def publish(cls, array: np.ndarray) -> "SharedArray":
+        _sweep_once()
         array = np.ascontiguousarray(array)
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, array.nbytes)
-        )
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=_segment_name(),
+                    create=True,
+                    size=max(1, array.nbytes),
+                )
+                break
+            except FileExistsError:  # token collision: pick another name
+                continue
+        _OWNED[shm.name] = shm
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
         view[...] = array
         return cls(shm.name, array.dtype.str, array.shape, shm, view)
@@ -127,6 +229,7 @@ class SharedArray:
         """Release the segment (owner side); safe to call twice."""
         if self._shm is not None:
             self._local = None
+            _OWNED.pop(self.name, None)
             try:
                 self._shm.close()
                 self._shm.unlink()

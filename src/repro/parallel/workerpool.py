@@ -1,0 +1,604 @@
+"""Supervised shard-resident worker runtime: pinned processes, deadlines,
+crash recovery.
+
+The stateless process pool (:mod:`repro.parallel.executor`) replicates
+shard state into whichever worker happens to pick a task up — up to S
+replicas per worker — and a single SIGKILL'd child turns every future
+``map`` into a ``BrokenProcessPool``.  This module is the long-lived
+alternative: one **pinned** worker process per shard, each holding
+exactly one shard resident (bounding memory to one shard copy per
+worker), fed over a private duplex pipe and watched by a supervisor in
+the owner process.
+
+Supervision is part of the query path, not a side thread: every fan-out
+waits on each pending worker's pipe *and* its ``Process.sentinel``
+(:func:`multiprocessing.connection.wait`), so a crashed worker is
+detected the moment the kernel reaps it, a hung worker is detected when
+the :class:`QueryPolicy` deadline expires, and a corrupt reply is
+detected by wire validation.  Any failure retires the worker
+(SIGKILL + reap), respawns it with bounded exponential backoff —
+reloading shard state from the owner's shared-memory publication
+(:class:`ShmShardSource`) or the Corollary-8 serialized payload on disk
+(:class:`FileShardSource`) — and then either *retries* the request on
+the fresh worker or *degrades* to the surviving shards, per the policy:
+
+- ``on_partial="raise"`` keeps exact-answer semantics: retry up to
+  ``retries`` times, then raise :class:`ShardTimeoutError` /
+  :class:`ShardCrashError` (the pool stays healthy — the failed shard
+  has already been respawned);
+- ``on_partial="degrade"`` returns whatever shards answered, with the
+  missing ones reported to the caller so degradation is *visible*
+  (:class:`~repro.index.base.SearchStats` carries ``degraded`` /
+  ``shards_answered`` / per-shard latencies upstream).
+
+Heartbeats ride the same wire: :meth:`WorkerPool.ping` round-trips a
+tiny message through every worker, and :meth:`WorkerPool.check`
+additionally respawns the workers that failed it — the monitor loop a
+serving front end would run between requests.
+
+Failures are rehearsed, not hoped for: :mod:`repro.parallel.faults`
+injects deterministic kill / stall / corrupt-reply faults into chosen
+workers on chosen requests, and the test suite plus
+``benchmarks/bench_resilience.py`` drive every path above on each run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.executor import _default_context
+from repro.parallel.faults import FaultInjector, FaultSpec, faults_from_env
+from repro.parallel.sharedmem import SharedDataset
+
+__all__ = [
+    "QueryPolicy",
+    "ShardFaultError",
+    "ShardCrashError",
+    "ShardTimeoutError",
+    "ShmShardSource",
+    "FileShardSource",
+    "WorkerPool",
+]
+
+
+@dataclass(frozen=True)
+class QueryPolicy:
+    """How a fan-out call behaves when a shard worker fails.
+
+    ``deadline`` bounds the whole call in seconds (``None``: unbounded);
+    ``retries`` is the number of *extra* attempts a failed shard gets on
+    a freshly respawned worker; ``backoff`` seeds the bounded
+    exponential respawn delay (no delay on a worker's first consecutive
+    failure, then ``backoff``, ``2*backoff``, ... capped at
+    ``backoff_cap``); ``on_partial`` picks the endgame once retries or
+    time run out — ``"raise"`` (exact-answer semantics) or
+    ``"degrade"`` (answer from the surviving shards, reported as such).
+    """
+
+    deadline: Optional[float] = None
+    retries: int = 1
+    backoff: float = 0.05
+    backoff_cap: float = 1.0
+    on_partial: str = "raise"
+
+    def __post_init__(self):
+        if self.deadline is not None and not self.deadline > 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff and backoff_cap must be >= 0")
+        if self.on_partial not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_partial must be 'raise' or 'degrade', "
+                f"got {self.on_partial!r}"
+            )
+
+
+class ShardFaultError(RuntimeError):
+    """A shard could not answer within the policy's retry/deadline bounds."""
+
+    def __init__(self, message: str, *, shard: int):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardCrashError(ShardFaultError):
+    """A shard's worker died (or replied garbage) and retries ran out."""
+
+
+class ShardTimeoutError(ShardFaultError):
+    """A shard missed the query deadline and retries/time ran out."""
+
+
+class ShmShardSource:
+    """Load a worker's shard from the owner's shared-memory publication.
+
+    ``payload`` is the :class:`SharedDataset` the owner published for
+    the shard (a pickled index blob); the worker resolves it once and
+    keeps the index resident.  Respawns resolve the same publication —
+    the owner keeps it alive for the pool's lifetime.
+    """
+
+    def __init__(self, payload: SharedDataset):
+        self.payload = payload
+
+    def load(self):
+        return self.payload.resolve()
+
+
+class FileShardSource:
+    """Load a worker's shard from a saved Corollary-8 payload on disk.
+
+    For indexes reloaded via
+    :func:`repro.index.serialize.load_sharded`: the worker reads shard
+    ``shard`` of the ``.npz`` at ``path`` (one bit-packed code payload,
+    no build distances) and attaches its database slice
+    ``[start:stop)`` from the owner's shared-memory publication of the
+    full point set.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        shard: int,
+        dataset: SharedDataset,
+        start: int,
+        stop: int,
+        metric: Any,
+    ):
+        self.path = path
+        self.shard = shard
+        self.dataset = dataset
+        self.start = start
+        self.stop = stop
+        self.metric = metric
+
+    def load(self):
+        from repro.index.serialize import read_shard_payload, restore_shard
+
+        payload = read_shard_payload(self.path, self.shard)
+        points = self.dataset.resolve()[self.start : self.stop]
+        return restore_shard(payload, points, self.metric, shard=self.shard)
+
+
+def _worker_main(conn, shard_id, source, fault_specs, generation) -> None:
+    """Body of one pinned worker: load the shard, answer until shutdown.
+
+    Loading happens before the request loop; requests sent meanwhile
+    simply wait in the pipe.  A load failure exits the process — the
+    supervisor sees the sentinel and treats it like any crash.  Replies
+    are ``(request_id, "ok", results, metric_delta)`` /
+    ``(request_id, "error", traceback)`` / ``(request_id, "pong",
+    generation)``; anything else a worker might emit (see the corrupt
+    injector) fails supervisor-side validation.
+    """
+    injector = FaultInjector(
+        fault_specs, shard=shard_id, generation=generation
+    )
+    index = source.load()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "shutdown":
+            break
+        if kind == "ping":
+            try:
+                conn.send((message[1], "pong", generation))
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        # kind == "query"
+        _, request_id, op, queries, arg, budget = message
+        action = injector.next_action()
+        if action is not None:
+            if action.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if action.kind == "stall":
+                time.sleep(action.stall_s)
+            if action.kind == "corrupt":
+                try:
+                    conn.send((request_id, "ok", "corrupt-reply"))
+                except (BrokenPipeError, OSError):
+                    break
+                continue
+        before = index.metric.count
+        try:
+            if op == "range":
+                results = index.range_batch(queries, arg)
+            elif op == "knn":
+                results = index.knn_batch(queries, arg)
+            else:
+                results = index.knn_approx_batch(queries, arg, budget=budget)
+            reply = (
+                request_id, "ok", results, index.metric.count - before
+            )
+        except Exception:
+            reply = (request_id, "error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _Worker:
+    """Supervisor-side record of one pinned worker process."""
+
+    __slots__ = ("process", "conn", "generation")
+
+    def __init__(self, process, conn, generation):
+        self.process = process
+        self.conn = conn
+        self.generation = generation
+
+
+class WorkerPool:
+    """One supervised, pinned worker process per shard.
+
+    ``sources[s].load()`` reconstructs shard ``s``'s index inside its
+    worker (and inside every respawn).  ``faults`` takes
+    :class:`~repro.parallel.faults.FaultSpec` items for deterministic
+    failure injection; when omitted, specs are read from the
+    ``REPRO_FAULTS`` environment variable.  The pool must be
+    :meth:`close`'d (the owning index's ``close()`` does this).
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[Any],
+        *,
+        faults: Optional[Sequence[FaultSpec]] = None,
+        context=None,
+    ):
+        if not sources:
+            raise ValueError("need at least one shard source")
+        self._sources = list(sources)
+        self._faults = (
+            tuple(faults) if faults is not None else faults_from_env()
+        )
+        self._context = context if context is not None else _default_context()
+        self._request_ids = itertools.count(1)
+        self._workers: List[Optional[_Worker]] = [None] * len(self._sources)
+        self._generations = [0] * len(self._sources)
+        self._failures = [0] * len(self._sources)
+        self._closed = False
+        #: Total respawns over the pool's lifetime (observability).
+        self.respawns = 0
+        #: Wall seconds the most recent retire+respawn took.
+        self.last_respawn_s = 0.0
+        try:
+            for shard in range(len(self._sources)):
+                self._spawn(shard)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._sources)
+
+    # ------------------------------------------------------------------
+    # Process lifecycle.
+    # ------------------------------------------------------------------
+
+    def _spawn(self, shard: int) -> None:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                shard,
+                self._sources[shard],
+                self._faults,
+                self._generations[shard],
+            ),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._workers[shard] = _Worker(
+            process, parent_conn, self._generations[shard]
+        )
+
+    def _retire(self, shard: int) -> None:
+        """Kill and reap shard's worker (safe on already-dead workers)."""
+        worker = self._workers[shard]
+        if worker is None:
+            return
+        self._workers[shard] = None
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+
+    def _respawn(self, shard: int, policy: QueryPolicy) -> None:
+        """Retire + restart one worker, with bounded exponential backoff.
+
+        The first consecutive failure respawns immediately; the ``f``-th
+        sleeps ``min(backoff_cap, backoff * 2**(f-2))`` first, so a
+        crash-looping shard cannot hot-spin the supervisor.
+        """
+        start = time.perf_counter()
+        self._retire(shard)
+        failures = self._failures[shard]
+        if failures > 1 and policy.backoff > 0:
+            time.sleep(
+                min(policy.backoff_cap, policy.backoff * 2 ** (failures - 2))
+            )
+        self._generations[shard] += 1
+        self._spawn(shard)
+        self.respawns += 1
+        self.last_respawn_s = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Heartbeat.
+    # ------------------------------------------------------------------
+
+    def ping(self, timeout: float = 1.0) -> List[bool]:
+        """Heartbeat every worker; ``True`` per shard that answered.
+
+        A dead worker fails immediately (broken pipe / EOF); a hung one
+        fails after ``timeout`` seconds.  Stale replies left over from
+        abandoned requests are drained and ignored.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        alive = []
+        for shard in range(self.n_shards):
+            worker = self._workers[shard]
+            if worker is None or not worker.process.is_alive():
+                alive.append(False)
+                continue
+            request_id = next(self._request_ids)
+            try:
+                worker.conn.send(("ping", request_id))
+            except (BrokenPipeError, OSError):
+                alive.append(False)
+                continue
+            deadline_at = time.perf_counter() + timeout
+            answered = False
+            while True:
+                remaining = deadline_at - time.perf_counter()
+                if remaining <= 0 or not worker.conn.poll(remaining):
+                    break
+                try:
+                    reply = worker.conn.recv()
+                except (EOFError, OSError):
+                    break
+                if (
+                    isinstance(reply, tuple)
+                    and len(reply) >= 2
+                    and reply[0] == request_id
+                    and reply[1] == "pong"
+                ):
+                    answered = True
+                    break
+                # Stale reply from an abandoned request: drain and retry.
+            alive.append(answered)
+        return alive
+
+    def check(
+        self, timeout: float = 1.0, policy: Optional[QueryPolicy] = None
+    ) -> List[bool]:
+        """Heartbeat, then respawn every worker that failed it.
+
+        Returns the pre-respawn liveness per shard; afterwards every
+        shard has a live (possibly still shard-loading) worker.
+        """
+        policy = policy if policy is not None else QueryPolicy()
+        alive = self.ping(timeout)
+        for shard, ok in enumerate(alive):
+            if not ok:
+                self._failures[shard] += 1
+                self._respawn(shard, policy)
+        return alive
+
+    # ------------------------------------------------------------------
+    # Supervised fan-out.
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        op: str,
+        queries: Sequence[Any],
+        arg: Any,
+        budgets: Sequence[Optional[int]],
+        policy: QueryPolicy,
+    ) -> Tuple[List[Optional[List]], List[int], List[Optional[float]]]:
+        """Fan one batched operation out to every shard, supervised.
+
+        Returns ``(results, deltas, latencies)``, one entry per shard;
+        a shard that failed past the policy's bounds has ``None``
+        results (possible only with ``on_partial="degrade"`` — the
+        ``"raise"`` policy raises instead, after respawning the failed
+        worker so the pool stays serviceable).
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        n = self.n_shards
+        deadline_at = (
+            None
+            if policy.deadline is None
+            else time.perf_counter() + policy.deadline
+        )
+        results: List[Optional[List]] = [None] * n
+        deltas = [0] * n
+        latencies: List[Optional[float]] = [None] * n
+        request_ids = [0] * n
+        started = [0.0] * n
+        attempts = [0] * n
+        pending = set(range(n))
+
+        def send(shard: int) -> bool:
+            attempts[shard] += 1
+            request_ids[shard] = next(self._request_ids)
+            started[shard] = time.perf_counter()
+            try:
+                self._workers[shard].conn.send((
+                    "query", request_ids[shard], op,
+                    queries, arg, budgets[shard],
+                ))
+                return True
+            except (BrokenPipeError, OSError):
+                return False  # died between spawn and send: a crash
+
+        def fail(shard: int, kind: str, detail: str) -> None:
+            """Retire+respawn a failed shard, then retry, degrade, or raise."""
+            self._failures[shard] += 1
+            self._respawn(shard, policy)
+            time_left = (
+                deadline_at is None
+                or deadline_at - time.perf_counter() > 0
+            )
+            if attempts[shard] <= policy.retries and time_left:
+                if send(shard):
+                    return
+                # The respawn itself is dying (e.g. a crash-looping
+                # shard): fall through with retries spent.
+                detail = "respawned worker died before accepting work"
+            pending.discard(shard)
+            if policy.on_partial == "degrade":
+                return
+            if kind == "timeout":
+                raise ShardTimeoutError(
+                    f"shard {shard} missed the {policy.deadline}s query "
+                    f"deadline ({detail})", shard=shard,
+                )
+            raise ShardCrashError(
+                f"shard {shard} worker failed beyond "
+                f"retries={policy.retries} ({detail})", shard=shard,
+            )
+
+        for shard in range(n):
+            if not send(shard):
+                fail(shard, "crash", "worker pipe closed at send")
+        while pending:
+            waitables: Dict[Any, int] = {}
+            for shard in pending:
+                worker = self._workers[shard]
+                waitables[worker.conn] = shard
+                waitables[worker.process.sentinel] = shard
+            timeout = (
+                None
+                if deadline_at is None
+                else max(0.0, deadline_at - time.perf_counter())
+            )
+            ready = connection.wait(list(waitables), timeout)
+            if not ready:
+                # Deadline expired with these shards still pending; every
+                # one of them is stalled (or too slow, which the policy
+                # cannot distinguish).  `fail` raises unless degrading.
+                for shard in sorted(pending):
+                    fail(shard, "timeout", "no reply before the deadline")
+                continue
+            handled = set()
+            for waitable in ready:
+                shard = waitables[waitable]
+                if shard in handled or shard not in pending:
+                    continue
+                handled.add(shard)
+                worker = self._workers[shard]
+                if not worker.conn.poll(0):
+                    # Sentinel fired with nothing buffered: the worker
+                    # died before replying.
+                    fail(shard, "crash", "worker process died")
+                    continue
+                try:
+                    reply = worker.conn.recv()
+                except (EOFError, OSError):
+                    fail(shard, "crash", "worker pipe broke mid-reply")
+                    continue
+                if (
+                    isinstance(reply, tuple)
+                    and len(reply) >= 2
+                    and isinstance(reply[0], int)
+                    and reply[0] != request_ids[shard]
+                ):
+                    # Stale reply to a request this pool already
+                    # abandoned (an earlier raise left it in flight);
+                    # drop it and keep waiting for the current one.
+                    continue
+                if (
+                    isinstance(reply, tuple)
+                    and len(reply) == 3
+                    and reply[1] == "error"
+                ):
+                    # The query itself raised in the worker: an
+                    # application error, deterministic across retries —
+                    # propagate, pool left healthy.
+                    raise RuntimeError(
+                        f"shard {shard} query raised in its worker:\n"
+                        f"{reply[2]}"
+                    )
+                if not (
+                    isinstance(reply, tuple)
+                    and len(reply) == 4
+                    and reply[1] == "ok"
+                    and isinstance(reply[2], list)
+                    and isinstance(reply[3], int)
+                ):
+                    fail(shard, "corrupt", f"malformed reply {reply!r:.80}")
+                    continue
+                results[shard] = reply[2]
+                deltas[shard] = reply[3]
+                latencies[shard] = time.perf_counter() - started[shard]
+                self._failures[shard] = 0
+                pending.discard(shard)
+        return results, deltas, latencies
+
+    # ------------------------------------------------------------------
+    # Shutdown.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker (idempotent): polite shutdown, then SIGKILL.
+
+        A worker mid-stall (or mid-query) ignores the shutdown message;
+        the bounded join makes sure close() never hangs on it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        workers = [w for w in self._workers if w is not None]
+        self._workers = [None] * len(self._sources)
+        for worker in workers:
+            try:
+                worker.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"WorkerPool(shards={self.n_shards}, {state}, "
+            f"respawns={self.respawns})"
+        )

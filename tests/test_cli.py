@@ -286,3 +286,37 @@ class TestParallelFlags:
         ]
         assert answers(plain) == answers(sharded)
         assert "3 shards" in sharded
+
+
+class TestResilienceFlags:
+    """--resident / --deadline / --retries / --on-partial wiring."""
+
+    def test_resident_search_matches_plain(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((90, 3)))
+        argv = ["search", "--input", str(path), "--kind", "vectors",
+                "--metric", "l2", "--index", "linear", "--mode", "knn",
+                "--k", "4", "--n-queries", "5", "--show", "5"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--shards", "3", "--resident",
+                            "--on-partial", "degrade"]) == 0
+        resident = capsys.readouterr().out
+        answers = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if line.startswith("query")
+        ]
+        assert answers(plain) == answers(resident)
+        assert "resident workers" in resident
+        assert "all 3 shards answered" in resident
+
+    def test_resilience_flags_require_shards(self, tmp_path, capsys, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((30, 2)))
+        base = ["search", "--input", str(path), "--kind", "vectors",
+                "--metric", "l2", "--index", "linear", "--n-queries", "3"]
+        assert main(base + ["--resident"]) == 1
+        assert "--shards" in capsys.readouterr().err
+        assert main(base + ["--shards", "2", "--deadline", "0"]) == 1
+        assert "--deadline must be > 0" in capsys.readouterr().err
+        assert main(base + ["--shards", "2", "--retries", "-1"]) == 1
+        assert "--retries must be >= 0" in capsys.readouterr().err

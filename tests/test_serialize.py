@@ -2,12 +2,21 @@
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.datasets import load_database
-from repro.index import DistPermIndex
-from repro.index.serialize import load_distperm, save_distperm
+from repro.index import DistPermIndex, ShardedIndex
+from repro.index.serialize import (
+    PayloadCorruptError,
+    load_distperm,
+    load_sharded,
+    read_shard_payload,
+    save_distperm,
+    save_sharded,
+)
 from repro.metrics import EuclideanDistance
 
 
@@ -163,3 +172,101 @@ class TestValidation:
         # Only the single probe permutation was computed (k distances),
         # and the counter was reset afterwards.
         assert loaded.metric.count == 0
+
+
+def _rewrite_npz(path, mutate):
+    """Load an ``.npz``, apply ``mutate(arrays)``, and save it back."""
+    with np.load(path) as data:
+        arrays = {key: data[key] for key in data.files}
+    mutate(arrays)
+    np.savez_compressed(path, **arrays)
+
+
+class TestCorruptPayloads:
+    """Damaged payloads must fail as :class:`PayloadCorruptError` naming
+    the shard key and byte offset, not as a bare numpy shape error."""
+
+    def test_truncated_stream(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+
+        def truncate(arrays):
+            arrays["codes_packed"] = arrays["codes_packed"][:-3]
+
+        _rewrite_npz(path, truncate)
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_distperm(path, points, EuclideanDistance())
+        error = excinfo.value
+        assert error.shard is None
+        assert error.byte_offset > 0  # the short buffer's length
+        assert "truncated" in str(error)
+        assert "byte offset" in str(error)
+
+    def test_bit_flipped_stream(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+        # k=7: 13-bit codes against 7! = 5040, so an all-ones element
+        # (8191) decodes out of range.  Smash a mid-stream byte run —
+        # every element fully inside it becomes all-ones.
+        def flip(arrays):
+            packed = arrays["codes_packed"].copy()
+            packed[160:166] = 0xFF
+            arrays["codes_packed"] = packed
+
+        _rewrite_npz(path, flip)
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_distperm(path, points, EuclideanDistance())
+        error = excinfo.value
+        assert error.shard is None
+        # The offset points into the smashed run (first bad element).
+        assert 150 <= error.byte_offset <= 170
+        assert "decodes outside" in str(error)
+
+    def test_wrong_width_stream(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index)
+
+        def widen(arrays):
+            arrays["bit_width"] = np.int64(int(arrays["bit_width"]) + 3)
+
+        _rewrite_npz(path, widen)
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_distperm(path, points, EuclideanDistance())
+        error = excinfo.value
+        assert error.byte_offset == 0  # header-level damage
+        assert "width" in str(error)
+
+    def test_sharded_error_names_the_shard(self, tmp_path, built):
+        points, _ = built
+        factory = partial(DistPermIndex, n_sites=5, site_strategy="first")
+        path = tmp_path / "sharded.npz"
+        with ShardedIndex(
+            points, EuclideanDistance(), factory, n_shards=3
+        ) as index:
+            save_sharded(path, index)
+
+        def truncate_s1(arrays):
+            arrays["s1_codes_packed"] = arrays["s1_codes_packed"][:-2]
+
+        _rewrite_npz(path, truncate_s1)
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_sharded(path, points, EuclideanDistance())
+        assert excinfo.value.shard == "s1"
+        assert "[s1," in str(excinfo.value)
+
+    def test_read_shard_payload_roundtrip(self, tmp_path, built):
+        points, _ = built
+        factory = partial(DistPermIndex, n_sites=5, site_strategy="first")
+        path = tmp_path / "sharded.npz"
+        with ShardedIndex(
+            points, EuclideanDistance(), factory, n_shards=2
+        ) as index:
+            save_sharded(path, index)
+            saved_count = int(len(index.shards[1].points))
+        payload = read_shard_payload(path, 1)
+        assert int(payload["count"]) == saved_count
+        with pytest.raises(ValueError, match="no shard s7"):
+            read_shard_payload(path, 7)
