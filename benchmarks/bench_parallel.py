@@ -8,8 +8,9 @@ index), and the mergeable permutation *census* of Tables 2–3 — each
 serial versus a 4-worker process pool over the same shard layout, with
 an answer-equality check against the unsharded index on every run.  The
 dictionary workload additionally records a recall-versus-budget curve
-for ``knn_approx`` — unsharded versus sharded, quantifying what the
-per-shard budget split costs in recall at equal total budget.
+for ``knn_approx`` — unsharded versus both sharded budget splits
+(per-shard proportional and global footrule), quantifying what each
+split costs in recall at equal total budget.
 
 Results go to ``BENCH_parallel.json`` with the machine's CPU count
 recorded alongside: process-pool speedup tracks physical cores, so the
@@ -147,12 +148,17 @@ def _bench_census(points, metric, sites, workers):
 
 
 def _bench_recall(points, metric, queries, exact_results, k, budgets):
-    """Recall-versus-budget for ``knn_approx``, unsharded versus sharded.
+    """Recall-versus-budget for ``knn_approx``: unsharded vs both splits.
 
-    The sharded index splits each query's budget proportionally across
-    its shards (ceil per shard), which changes the candidate set and
-    hence the recall/budget trade-off relative to one global footrule
-    ranking over the whole database — this curve quantifies that cost.
+    The sharded index can split each query's budget proportionally
+    across its shards (ceil per shard), which changes the candidate set
+    and hence the recall/budget trade-off relative to one global
+    footrule ranking over the whole database — ``recall_sharded``
+    quantifies that cost.  ``recall_sharded_global`` measures the
+    global-footrule split (``budget_split="global"``), which merges the
+    per-shard footrule rankings in the supervisor and allocates the
+    budget to the globally best candidates; it should sit between the
+    proportional and unsharded curves, recovering most of the gap.
     Recall is measured against the exact kNN answer; shards run serially
     (recall depends on the shard layout, not the worker count).
     """
@@ -169,8 +175,13 @@ def _bench_recall(points, metric, queries, exact_results, k, budgets):
         return round(float(np.mean(hits)), 4)
 
     curve = []
-    with ShardedIndex(points, metric, inner, n_shards=SHARDS,
-                      workers=None) as sharded:
+    with ShardedIndex(
+        points, metric, inner, n_shards=SHARDS, workers=None,
+        budget_split="proportional",
+    ) as sharded, ShardedIndex(
+        points, metric, inner, n_shards=SHARDS, workers=None,
+        budget_split="global",
+    ) as sharded_global:
         for budget in budgets:
             curve.append({
                 "budget": budget,
@@ -180,8 +191,47 @@ def _bench_recall(points, metric, queries, exact_results, k, budgets):
                 "recall_sharded": mean_recall(
                     sharded.knn_approx_batch(queries, k, budget=budget)
                 ),
+                "recall_sharded_global": mean_recall(
+                    sharded_global.knn_approx_batch(queries, k, budget=budget)
+                ),
             })
     return curve
+
+
+def _bench_reply_bytes(points, metric, queries, workers):
+    """Reply bytes of the array-IPC resident path vs pickled lists.
+
+    Armed on every invocation (smoke included): the columnar
+    ``(distances, indices, offsets)`` replies must cost fewer wire
+    bytes than pickling each shard's ``Neighbor`` lists — the reply
+    format the resident runtime shipped before the columnar result
+    plane.
+    """
+    import pickle
+
+    with ShardedIndex(
+        points, metric, LinearScan, n_shards=SHARDS,
+        workers=workers, resident=True,
+    ) as index:
+        index.knn_batch(queries, 10)
+        shipped = index.stats.reply_bytes
+        baseline = sum(
+            len(pickle.dumps(shard.knn_batch(queries, 10),
+                             pickle.HIGHEST_PROTOCOL))
+            for shard in index.shards
+        )
+    if not 0 < shipped < baseline:
+        raise AssertionError(
+            f"array replies shipped {shipped} bytes against a "
+            f"pickled-Neighbor baseline of {baseline}"
+        )
+    return {
+        "n_queries": len(queries),
+        "k": 10,
+        "reply_bytes_arrays": shipped,
+        "reply_bytes_pickled_baseline": baseline,
+        "reply_bytes_ratio": round(shipped / baseline, 4),
+    }
 
 
 def run_dictionary_workload(n, n_queries, workers, rng, recall_budgets):
@@ -218,6 +268,7 @@ def run_dictionary_workload(n, n_queries, workers, rng, recall_budgets):
         "recall_curve": _bench_recall(
             words, metric, queries, exact_results, 10, recall_budgets
         ),
+        "reply_bytes": _bench_reply_bytes(words, metric, queries, workers),
     }
 
 
@@ -316,11 +367,20 @@ def main(argv=None):
             f"{workload['dataset']}/census: {census['census_speedup']}x "
             f"({census['distinct']} distinct)"
         )
+        reply = workload.get("reply_bytes")
+        if reply is not None:
+            print(
+                f"{workload['dataset']}/reply-bytes: arrays "
+                f"{reply['reply_bytes_arrays']} < pickled baseline "
+                f"{reply['reply_bytes_pickled_baseline']} "
+                f"({reply['reply_bytes_ratio']}x)"
+            )
         for point in workload.get("recall_curve", ()):
             print(
                 f"{workload['dataset']}/recall@budget={point['budget']}: "
                 f"unsharded {point['recall_unsharded']}, "
-                f"sharded {point['recall_sharded']}"
+                f"sharded {point['recall_sharded']}, "
+                f"global split {point['recall_sharded_global']}"
             )
 
     if not args.smoke:

@@ -146,7 +146,17 @@ def bench_recovery(words, metric, queries, expected):
 
 
 def bench_degraded_recall(words, metric, queries, exact_ids, budgets, smoke):
-    """Recall of S-1-shard degraded answers along the budget curve."""
+    """Recall of S-1-shard degraded answers along the budget curve.
+
+    Runs under the default (global footrule) budget split, where the
+    killed shard's budget share is redistributed to the survivors by
+    the merged ranking; ``committed_recall_sharded`` carries the
+    committed *proportional*-split full-shard recall from
+    ``BENCH_parallel.json`` for comparison across PRs.  The kill lands
+    on the footrule phase (request 1 of each batch), so the dead shard
+    is excluded from the allocation and exactly one worker generation
+    burns per budget point.
+    """
     inner = partial(DistPermIndex, n_sites=12, site_strategy="first")
     # The committed curve was measured at full size; comparing smoke's
     # tiny dataset against it would just mislead.

@@ -548,6 +548,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
               "deadline or crashed beyond retries)")
     elif report.shards_answered is not None:
         print(f"resilience: all {report.shards_answered} shards answered")
+    if report.shard_reply_bytes is not None:
+        per_shard = " ".join(
+            "-" if b is None else str(b) for b in report.shard_reply_bytes
+        )
+        print(f"reply bytes: {report.reply_bytes} total "
+              f"(last fan-out per shard: {per_shard})")
     for i in range(min(args.show, report.n_queries)):
         answers = ", ".join(
             f"{n.index}:{n.distance:.6g}" for n in report.results[i]

@@ -155,7 +155,10 @@ class QueryWorkloadReport:
     workload (resident sharded execution only — ``shards_answered`` is
     ``None`` elsewhere): whether any answer in this workload was merged
     from fewer than all shards, and how many shards the last fan-out
-    heard from.
+    heard from.  ``reply_bytes`` totals the result-payload bytes shipped
+    from resident workers over the workload (0 when no worker wire was
+    involved) and ``shard_reply_bytes`` is the last fan-out's per-shard
+    breakdown, ``None`` per shard that never replied.
     """
 
     kind: str
@@ -165,6 +168,8 @@ class QueryWorkloadReport:
     results: Tuple[Tuple[Neighbor, ...], ...]
     degraded: bool = False
     shards_answered: Optional[int] = None
+    reply_bytes: int = 0
+    shard_reply_bytes: Optional[Tuple[Optional[int], ...]] = None
 
     @property
     def queries_per_second(self) -> float:
@@ -310,6 +315,8 @@ def _run_workload(
         results=tuple(tuple(r) for r in results),
         degraded=index.stats.degraded,
         shards_answered=index.stats.shards_answered,
+        reply_bytes=index.stats.reply_bytes,
+        shard_reply_bytes=index.stats.shard_reply_bytes,
     )
 
 

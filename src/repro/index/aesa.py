@@ -24,7 +24,8 @@ from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
-from repro.index.base import Index, Neighbor
+from repro.index.base import Index, Neighbor, NeighborArrays
+from repro.index.batching import heaps_to_arrays, rows_from_pairs
 
 __all__ = ["AESA"]
 
@@ -111,12 +112,14 @@ class AESA(Index):
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n = len(self.points)
         n_queries = len(queries)
         lower = np.zeros((n_queries, n))
         alive = np.ones((n_queries, n), dtype=bool)
-        results: List[List[Neighbor]] = [[] for _ in range(n_queries)]
+        hit_queries: List[np.ndarray] = []
+        hit_indices: List[np.ndarray] = []
+        hit_distances: List[np.ndarray] = []
         threshold = radius + _SAFETY * (1.0 + radius)
         active = list(range(n_queries))
         while active:
@@ -125,16 +128,29 @@ class AESA(Index):
                 distances = self._evaluate_group(
                     queries, members, pivot, lower, alive
                 )
-                for qi, d in zip(members, distances):
-                    if d <= radius:
-                        results[qi].append(Neighbor(float(d), pivot))
+                hits = np.flatnonzero(distances <= radius)
+                if hits.shape[0]:
+                    hit_queries.append(
+                        np.asarray(members, dtype=np.int64)[hits]
+                    )
+                    hit_indices.append(
+                        np.full(hits.shape[0], pivot, dtype=np.int64)
+                    )
+                    hit_distances.append(distances[hits])
                 alive[members] &= lower[members] <= threshold
             active = [qi for qi in active if alive[qi].any()]
-        return results
+        if not hit_queries:
+            return NeighborArrays.empty(n_queries)
+        return rows_from_pairs(
+            n_queries,
+            np.concatenate(hit_queries),
+            np.concatenate(hit_indices),
+            np.concatenate(hit_distances),
+        )
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n = len(self.points)
         n_queries = len(queries)
         lower = np.zeros((n_queries, n))
@@ -158,9 +174,7 @@ class AESA(Index):
                         kth = -heap[0][0]
                         alive[qi] &= lower[qi] <= kth + _SAFETY * (1.0 + kth)
             active = [qi for qi in active if alive[qi].any()]
-        return [
-            [Neighbor(-nd, -ni) for nd, ni in heap] for heap in heaps
-        ]
+        return heaps_to_arrays(heaps)
 
     def storage_floats(self) -> int:
         """Stored scalars: the full ``n x n`` matrix (upper triangle counted once)."""

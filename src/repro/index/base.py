@@ -35,11 +35,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.metrics.base import CountingMetric, Metric
 
-__all__ = ["Neighbor", "SearchStats", "Index"]
+__all__ = ["Neighbor", "NeighborArrays", "SearchStats", "Index"]
 
 
 @dataclass(frozen=True, order=True)
@@ -50,12 +52,149 @@ class Neighbor:
     index: int
 
 
+class NeighborArrays:
+    """Columnar neighbor results for a ragged batch of queries.
+
+    The internal result plane of every index: three flat arrays in CSR
+    layout instead of per-row ``list[Neighbor]`` objects.  Row ``q``'s
+    neighbors live at ``[offsets[q], offsets[q + 1])`` of the parallel
+    ``distances`` (float64) and ``indices`` (int64) columns; ``offsets``
+    has ``n_queries + 1`` entries starting at 0.  Columns stay array-
+    native end to end — through the batched index kernels, the sharded
+    column merge, and the worker IPC channel — and are converted to
+    ``Neighbor`` lists only at the public API boundary.
+    """
+
+    __slots__ = ("distances", "indices", "offsets")
+
+    def __init__(
+        self,
+        distances: np.ndarray,
+        indices: np.ndarray,
+        offsets: np.ndarray,
+    ):
+        self.distances = np.asarray(distances, dtype=np.float64).reshape(-1)
+        self.indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        self.offsets = np.asarray(offsets, dtype=np.int64).reshape(-1)
+
+    def __reduce__(self):
+        return (type(self), (self.distances, self.indices, self.offsets))
+
+    def __repr__(self) -> str:
+        return (
+            f"NeighborArrays(n_queries={self.n_queries}, "
+            f"n_results={self.indices.shape[0]})"
+        )
+
+    @property
+    def n_queries(self) -> int:
+        return self.offsets.shape[0] - 1
+
+    def counts(self) -> np.ndarray:
+        """Per-query result counts (``np.diff`` of the offsets)."""
+        return np.diff(self.offsets)
+
+    @classmethod
+    def empty(cls, n_queries: int) -> "NeighborArrays":
+        return cls(
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            np.zeros(n_queries + 1, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_lists(
+        cls, rows: Sequence[Sequence[Neighbor]]
+    ) -> "NeighborArrays":
+        """Build columns from per-query ``Neighbor`` lists."""
+        counts = np.asarray([len(row) for row in rows], dtype=np.int64)
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        distances = np.empty(total, dtype=np.float64)
+        indices = np.empty(total, dtype=np.int64)
+        pos = 0
+        for row in rows:
+            for neighbor in row:
+                distances[pos] = neighbor.distance
+                indices[pos] = neighbor.index
+                pos += 1
+        return cls(distances, indices, offsets)
+
+    def row_list(self, row: int) -> List[Neighbor]:
+        """Row ``row`` as a ``Neighbor`` list, in stored order."""
+        start, stop = int(self.offsets[row]), int(self.offsets[row + 1])
+        return [
+            Neighbor(float(d), int(i))
+            for d, i in zip(self.distances[start:stop],
+                            self.indices[start:stop])
+        ]
+
+    def to_lists(self) -> List[List[Neighbor]]:
+        """The public-API boundary view: per-query ``Neighbor`` lists."""
+        return [self.row_list(q) for q in range(self.n_queries)]
+
+    def row_ids(self) -> np.ndarray:
+        """Query id of each stored entry (``repeat`` of the CSR counts)."""
+        return np.repeat(
+            np.arange(self.n_queries, dtype=np.int64), self.counts()
+        )
+
+    def sorted_rows(self) -> "NeighborArrays":
+        """Each row sorted by ``(distance, index)`` — the public order."""
+        order = np.lexsort((self.indices, self.distances, self.row_ids()))
+        return NeighborArrays(
+            self.distances[order], self.indices[order], self.offsets
+        )
+
+    def trim(self, k: int) -> "NeighborArrays":
+        """Keep the first ``k`` stored entries of each row."""
+        counts = self.counts()
+        rank = np.arange(self.indices.shape[0], dtype=np.int64)
+        rank -= np.repeat(self.offsets[:-1], counts)
+        keep = rank < k
+        offsets = np.zeros_like(self.offsets)
+        np.cumsum(np.minimum(counts, k), out=offsets[1:])
+        return NeighborArrays(
+            self.distances[keep], self.indices[keep], offsets
+        )
+
+    @classmethod
+    def concat(
+        cls, parts: Sequence["NeighborArrays"]
+    ) -> "NeighborArrays":
+        """Stack batches along the query axis (row-wise concatenation)."""
+        if not parts:
+            return cls.empty(0)
+        distances = np.concatenate([p.distances for p in parts])
+        indices = np.concatenate([p.indices for p in parts])
+        pieces = [np.zeros(1, dtype=np.int64)]
+        base = 0
+        for p in parts:
+            pieces.append(p.offsets[1:] + base)
+            base += int(p.offsets[-1])
+        return cls(distances, indices, np.concatenate(pieces))
+
+
+#: An approximate-kNN budget: one scalar cap for the whole batch, or a
+#: per-query int array (the sharded global-footrule split allocates one
+#: candidate budget per query per shard).
+Budget = Union[None, int, np.ndarray]
+
+
+def _row_budget(budget: Budget, row: int) -> Optional[int]:
+    """The scalar budget for one query of a (possibly per-query) budget."""
+    if isinstance(budget, np.ndarray):
+        return int(budget[row])
+    return budget
+
+
 @dataclass
 class SearchStats:
     """Distance evaluations spent building and querying an index.
 
-    The last three fields report on *resilience* and are populated only
-    by sharded resident-mode queries
+    The fields past ``queries`` report on *resilience* and worker IPC
+    and are populated only by sharded resident-mode queries
     (:class:`~repro.index.sharded.ShardedIndex` over a supervised worker
     pool): ``shards_answered`` counts the shards whose answers made the
     most recent merge, ``degraded`` is ``True`` when any query since the
@@ -72,6 +211,12 @@ class SearchStats:
     shards_answered: Optional[int] = None
     degraded: bool = False
     shard_latencies_s: Optional[Tuple[Optional[float], ...]] = None
+    #: Total bytes of worker replies (inline pickles plus shared-memory
+    #: payloads) received since the last reset; resident mode only.
+    reply_bytes: int = 0
+    #: The most recent fan-out's per-shard reply sizes in bytes (``None``
+    #: entries for shards that never answered); resident mode only.
+    shard_reply_bytes: Optional[Tuple[Optional[int], ...]] = None
 
     @property
     def distances_per_query(self) -> float:
@@ -129,24 +274,45 @@ class Index(ABC):
         return self._knn_impl(query, k)
 
     # ------------------------------------------------------------------
-    # Batched implementation hooks.  The fallbacks loop the single-query
-    # implementations; vectorized subclasses override them.
+    # Batched implementation hooks.  Each returns a
+    # :class:`NeighborArrays` (rows need not be sorted; the public
+    # methods sort and cut).  The fallbacks loop the single-query
+    # implementations; vectorized subclasses override them with
+    # column-native kernels.  A hook returning per-query ``Neighbor``
+    # lists is coerced at the boundary, so legacy overrides keep
+    # working.
     # ------------------------------------------------------------------
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
-        return [self._range_impl(query, radius) for query in queries]
+    ) -> NeighborArrays:
+        return NeighborArrays.from_lists(
+            [self._range_impl(query, radius) for query in queries]
+        )
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
-        return [self._knn_impl(query, k) for query in queries]
+    ) -> NeighborArrays:
+        return NeighborArrays.from_lists(
+            [self._knn_impl(query, k) for query in queries]
+        )
 
     def _knn_approx_batch_impl(
-        self, queries: Sequence[Any], k: int, budget: Optional[int]
-    ) -> List[List[Neighbor]]:
-        return [self._knn_approx_impl(query, k, budget) for query in queries]
+        self, queries: Sequence[Any], k: int, budget: Budget
+    ) -> NeighborArrays:
+        return NeighborArrays.from_lists(
+            [
+                self._knn_approx_impl(query, k, _row_budget(budget, q))
+                for q, query in enumerate(queries)
+            ]
+        )
+
+    @staticmethod
+    def _as_arrays(result) -> NeighborArrays:
+        """Coerce a batch hook's return value to columns."""
+        if isinstance(result, NeighborArrays):
+            return result
+        return NeighborArrays.from_lists(result)
 
     # ------------------------------------------------------------------
     # Public single-query API.
@@ -197,8 +363,63 @@ class Index(ABC):
         return results
 
     # ------------------------------------------------------------------
-    # Public batched API.
+    # Public batched API.  The array methods are the primary surface —
+    # results stay columnar from the kernels out — and the list methods
+    # are thin boundary views over them.
     # ------------------------------------------------------------------
+
+    def range_batch_arrays(
+        self, queries: Sequence[Any], radius: float
+    ) -> NeighborArrays:
+        """Batched range search as columns, rows sorted by (d, index)."""
+        if radius < 0:
+            raise ValueError("radius must be nonnegative")
+        before = self.metric.count
+        arrays = self._as_arrays(
+            self._range_batch_impl(queries, radius)
+        ).sorted_rows()
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += arrays.n_queries
+        return arrays
+
+    def knn_batch_arrays(
+        self, queries: Sequence[Any], k: int
+    ) -> NeighborArrays:
+        """Batched kNN as columns: ``k`` sorted entries per row."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.points))
+        before = self.metric.count
+        arrays = (
+            self._as_arrays(self._knn_batch_impl(queries, k))
+            .sorted_rows()
+            .trim(k)
+        )
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += arrays.n_queries
+        return arrays
+
+    def knn_approx_batch_arrays(
+        self, queries: Sequence[Any], k: int, budget: Budget = None
+    ) -> NeighborArrays:
+        """Batched approximate kNN as columns under an evaluation budget.
+
+        ``budget`` may be a scalar cap shared by every query or a
+        per-query int array (one entry per query); the sharded
+        global-footrule split drives the latter.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        k = min(k, len(self.points))
+        before = self.metric.count
+        arrays = (
+            self._as_arrays(self._knn_approx_batch_impl(queries, k, budget))
+            .sorted_rows()
+            .trim(k)
+        )
+        self.stats.query_distances += self.metric.count - before
+        self.stats.queries += arrays.n_queries
+        return arrays
 
     def range_batch(
         self, queries: Sequence[Any], radius: float
@@ -210,44 +431,19 @@ class Index(ABC):
         query per element of ``queries`` — but vectorized subclasses
         answer the whole batch with a few ``batch_distances`` calls.
         """
-        if radius < 0:
-            raise ValueError("radius must be nonnegative")
-        before = self.metric.count
-        results = [sorted(r) for r in self._range_batch_impl(queries, radius)]
-        self.stats.query_distances += self.metric.count - before
-        self.stats.queries += len(results)
-        return results
+        return self.range_batch_arrays(queries, radius).to_lists()
 
     def knn_batch(
         self, queries: Sequence[Any], k: int
     ) -> List[List[Neighbor]]:
         """Batched :meth:`knn_query`: one sorted ``k``-list per query."""
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        k = min(k, len(self.points))
-        before = self.metric.count
-        results = [
-            sorted(r)[:k] for r in self._knn_batch_impl(queries, k)
-        ]
-        self.stats.query_distances += self.metric.count - before
-        self.stats.queries += len(results)
-        return results
+        return self.knn_batch_arrays(queries, k).to_lists()
 
     def knn_approx_batch(
-        self, queries: Sequence[Any], k: int, budget: Optional[int] = None
+        self, queries: Sequence[Any], k: int, budget: Budget = None
     ) -> List[List[Neighbor]]:
         """Batched :meth:`knn_approx` under a per-query evaluation budget."""
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        k = min(k, len(self.points))
-        before = self.metric.count
-        results = [
-            sorted(r)[:k]
-            for r in self._knn_approx_batch_impl(queries, k, budget)
-        ]
-        self.stats.query_distances += self.metric.count - before
-        self.stats.queries += len(results)
-        return results
+        return self.knn_approx_batch_arrays(queries, k, budget).to_lists()
 
     def reset_stats(self) -> None:
         """Zero the query-cost accounts (build cost is preserved)."""
@@ -256,6 +452,8 @@ class Index(ABC):
         self.stats.shards_answered = None
         self.stats.degraded = False
         self.stats.shard_latencies_s = None
+        self.stats.reply_bytes = 0
+        self.stats.shard_reply_bytes = None
         self.metric.reset()
 
     def __len__(self) -> int:

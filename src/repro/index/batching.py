@@ -31,7 +31,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.index.base import Neighbor
+from repro.index.base import Neighbor, NeighborArrays
 from repro.metrics.base import Metric
 
 __all__ = [
@@ -40,9 +40,11 @@ __all__ = [
     "offer",
     "heap_radius",
     "heap_neighbors",
+    "heaps_to_arrays",
     "smallest_k_indices",
-    "top_k_rows",
-    "range_rows",
+    "top_k_arrays",
+    "range_arrays",
+    "rows_from_pairs",
     "exhaustive_knn_batch",
     "exhaustive_range_batch",
     "take_points",
@@ -75,6 +77,23 @@ def heap_radius(heap: List[tuple], k: int) -> float:
 def heap_neighbors(heap: List[tuple]) -> List[Neighbor]:
     """Convert a bounded max-heap back into ``Neighbor`` objects."""
     return [Neighbor(-nd, -ni) for nd, ni in heap]
+
+
+def heaps_to_arrays(heaps: Sequence[List[tuple]]) -> NeighborArrays:
+    """Convert per-query bounded max-heaps into CSR result columns."""
+    counts = np.asarray([len(heap) for heap in heaps], dtype=np.int64)
+    offsets = np.zeros(len(heaps) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    distances = np.empty(total, dtype=np.float64)
+    indices = np.empty(total, dtype=np.int64)
+    pos = 0
+    for heap in heaps:
+        for nd, ni in heap:
+            distances[pos] = -nd
+            indices[pos] = -ni
+            pos += 1
+    return NeighborArrays(distances, indices, offsets)
 
 
 def scan_knn(
@@ -150,33 +169,84 @@ def smallest_k_indices(values: np.ndarray, k: int) -> np.ndarray:
     return candidates[order]
 
 
-def top_k_rows(distances: np.ndarray, k: int) -> List[List[Neighbor]]:
-    """Per-row exact top-k of a distance matrix as ``Neighbor`` lists."""
-    return [
-        [Neighbor(float(row[i]), int(i)) for i in smallest_k_indices(row, k)]
-        for row in distances
-    ]
+def rows_from_pairs(
+    n_queries: int,
+    query_ids: np.ndarray,
+    db_ids: np.ndarray,
+    distances: np.ndarray,
+) -> NeighborArrays:
+    """Group flat ``(query, database, distance)`` triplets into CSR rows.
+
+    The tree range traversals accumulate hits level by level as parallel
+    arrays in no particular order; this groups them by query with one
+    stable argsort.  Rows come back unsorted within — the public API's
+    ``sorted_rows`` pass imposes the ``(distance, index)`` order.
+    """
+    query_ids = np.asarray(query_ids, dtype=np.int64)
+    counts = np.bincount(query_ids, minlength=n_queries)
+    offsets = np.zeros(n_queries + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    order = np.argsort(query_ids, kind="stable")
+    return NeighborArrays(
+        np.asarray(distances, dtype=np.float64)[order],
+        np.asarray(db_ids, dtype=np.int64)[order],
+        offsets,
+    )
 
 
-def range_rows(distances: np.ndarray, radius: float) -> List[List[Neighbor]]:
-    """Per-row range results (``distance <= radius``), sorted by distance."""
-    results = []
-    for row in distances:
-        hits = np.flatnonzero(row <= radius)
-        order = np.lexsort((hits, row[hits]))
-        results.append([Neighbor(float(row[i]), int(i)) for i in hits[order]])
-    return results
+def top_k_arrays(distances: np.ndarray, k: int) -> NeighborArrays:
+    """Per-row exact top-k of a distance matrix, as sorted columns.
+
+    The vectorized, all-rows-at-once counterpart of
+    :func:`smallest_k_indices` with identical semantics: per row, the
+    ``k`` lexicographically smallest ``(value, column)`` pairs sorted by
+    ``(value, column)``, boundary ties resolved by lower column.
+    """
+    n_queries, n = distances.shape
+    if n_queries == 0:
+        return NeighborArrays.empty(0)
+    if k >= n:
+        rows = np.repeat(np.arange(n_queries, dtype=np.int64), n)
+        cols = np.tile(np.arange(n, dtype=np.int64), n_queries)
+        vals = distances.ravel()
+    else:
+        part = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        boundary = np.take_along_axis(distances, part, axis=1).max(axis=1)
+        rows, cols = np.nonzero(distances <= boundary[:, None])
+        vals = distances[rows, cols]
+    order = np.lexsort((cols, vals, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    counts = np.bincount(rows, minlength=n_queries)
+    rank = np.arange(rows.shape[0], dtype=np.int64)
+    starts = np.zeros(n_queries, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    rank -= np.repeat(starts, counts)
+    keep = rank < k
+    offsets = np.zeros(n_queries + 1, dtype=np.int64)
+    np.cumsum(np.minimum(counts, k), out=offsets[1:])
+    return NeighborArrays(vals[keep], cols[keep], offsets)
+
+
+def range_arrays(distances: np.ndarray, radius: float) -> NeighborArrays:
+    """Per-row range hits (``distance <= radius``) of a matrix as columns."""
+    n_queries = distances.shape[0]
+    rows, cols = np.nonzero(distances <= radius)
+    vals = distances[rows, cols]
+    counts = np.bincount(rows, minlength=n_queries)
+    offsets = np.zeros(n_queries + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return NeighborArrays(vals, cols, offsets)
 
 
 def exhaustive_knn_batch(
     metric: Metric, queries: Sequence[Any], points: Sequence[Any], k: int
-) -> List[List[Neighbor]]:
+) -> NeighborArrays:
     """Exact batched kNN by chunked exhaustive distance matrices."""
-    results: List[List[Neighbor]] = []
+    parts: List[NeighborArrays] = []
     for start, stop in query_chunks(len(queries), len(points)):
         block = metric.batch_distances(queries[start:stop], points)
-        results.extend(top_k_rows(block, k))
-    return results
+        parts.append(top_k_arrays(block, k))
+    return NeighborArrays.concat(parts)
 
 
 def exhaustive_range_batch(
@@ -184,7 +254,7 @@ def exhaustive_range_batch(
     queries: Sequence[Any],
     points: Sequence[Any],
     radius: float,
-) -> List[List[Neighbor]]:
+) -> NeighborArrays:
     """Exact batched range search by chunked exhaustive distance matrices.
 
     Uses :meth:`~repro.metrics.base.Metric.batch_distances_within`, whose
@@ -193,13 +263,13 @@ def exhaustive_range_batch(
     beyond it — which lets metrics with a banded kernel (Levenshtein)
     skip the full DP on pairs the query discards.
     """
-    results: List[List[Neighbor]] = []
+    parts: List[NeighborArrays] = []
     for start, stop in query_chunks(len(queries), len(points)):
         block = metric.batch_distances_within(
             queries[start:stop], points, radius
         )
-        results.extend(range_rows(block, radius))
-    return results
+        parts.append(range_arrays(block, radius))
+    return NeighborArrays.concat(parts)
 
 
 def _groups(keys: np.ndarray) -> Iterator[Tuple[np.ndarray, int]]:
@@ -301,5 +371,6 @@ class BatchKnnState:
             if len(heap) == k:
                 self.radii[qi] = -heap[0][0]
 
-    def results(self) -> List[List[Neighbor]]:
-        return [heap_neighbors(heap) for heap in self.heaps]
+    def results(self) -> NeighborArrays:
+        """The accumulated answers as CSR columns (rows unsorted)."""
+        return heaps_to_arrays(self.heaps)

@@ -32,13 +32,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.index.base import Index, Neighbor
+from repro.index.base import Index, Neighbor, NeighborArrays
 from repro.index.batching import (
     BatchKnnState,
     frontier_distances,
     heap_neighbors,
     heap_radius,
     offer,
+    rows_from_pairs,
     take_points,
 )
 
@@ -200,9 +201,11 @@ class BKTree(Index):
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
-        results: List[List[Neighbor]] = [[] for _ in range(n_queries)]
+        hit_queries: List[np.ndarray] = []
+        hit_indices: List[np.ndarray] = []
+        hit_distances: List[np.ndarray] = []
         query_ids = np.arange(n_queries, dtype=np.int64)
         nodes = np.zeros(n_queries, dtype=np.int64)
         while query_ids.size:
@@ -212,19 +215,27 @@ class BKTree(Index):
                     query_ids, self._element[nodes],
                 )
             )
-            for j in np.flatnonzero(distances <= radius):
-                results[int(query_ids[j])].append(
-                    Neighbor(float(distances[j]), int(self._element[nodes[j]]))
-                )
+            hits = np.flatnonzero(distances <= radius)
+            if hits.shape[0]:
+                hit_queries.append(query_ids[hits])
+                hit_indices.append(self._element[nodes[hits]])
+                hit_distances.append(distances[hits].astype(np.float64))
             query_ids, nodes = self._surviving_children(
                 query_ids, nodes, distances,
                 np.full(query_ids.shape[0], radius),
             )
-        return results
+        if not hit_queries:
+            return NeighborArrays.empty(n_queries)
+        return rows_from_pairs(
+            n_queries,
+            np.concatenate(hit_queries),
+            np.concatenate(hit_indices),
+            np.concatenate(hit_distances),
+        )
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
         state = BatchKnnState(n_queries, k)
         query_ids = np.arange(n_queries, dtype=np.int64)
@@ -246,6 +257,6 @@ class BKTree(Index):
 
     def _knn_approx_batch_impl(
         self, queries: Sequence[Any], k: int, budget: Optional[int]
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         # Exact search; the budget is ignored, as in the single-query path.
         return self._knn_batch_impl(queries, k)

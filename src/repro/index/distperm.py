@@ -44,7 +44,7 @@ from repro.core.permutation import (
     permutations_from_distances,
 )
 from repro.core.storage import StorageReport, storage_report
-from repro.index.base import Index, Neighbor
+from repro.index.base import Budget, Index, Neighbor, NeighborArrays
 from repro.index.batching import (
     exhaustive_knn_batch,
     exhaustive_range_batch,
@@ -67,6 +67,8 @@ def _budget_candidates(footrules: np.ndarray, budget: int) -> np.ndarray:
     filled.  ``np.argpartition`` keeps this O(n) instead of O(n log n).
     """
     n = footrules.shape[0]
+    if budget <= 0:
+        return np.empty(0, dtype=np.int64)
     if budget >= n:
         return np.arange(n)
     part = np.argpartition(footrules, budget - 1)[:budget]
@@ -282,23 +284,82 @@ class DistPermIndex(Index):
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         return exhaustive_range_batch(self.metric, queries, self.points, radius)
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         return exhaustive_knn_batch(self.metric, queries, self.points, k)
 
-    def _knn_approx_batch_impl(
-        self, queries: Sequence[Any], k: int, budget: Optional[int]
-    ) -> List[List[Neighbor]]:
-        budget = self._clamp_budget(k, budget)
+    def query_footrules(
+        self, queries: Sequence[Any], limit: int
+    ) -> np.ndarray:
+        """Each query's ``limit`` smallest *centered* footrules, ascending.
+
+        The per-shard half of the sharded global-footrule budget split:
+        the supervisor merges these value columns across shards to decide
+        how many candidates each shard deserves per query.  Raw footrule
+        values are not comparable across shards — each shard ranks
+        against its own site set, so a lucky site draw shifts a shard's
+        whole distribution low and would hoard the merged budget on
+        noise.  Centering every row by the query's mean footrule over
+        *all* points of this index (a statistic of the full distribution
+        the method computes anyway) cancels that per-site-set shift
+        while preserving the within-shard ordering, so the merged values
+        rank candidates by how unusually close they sit in their own
+        shard's permutation space.  Costs one ``to_sites`` call
+        (``n_sites`` evaluations per query) — the same site distances a
+        subsequent :meth:`knn_approx_batch` pays again, so serial,
+        stateless, and resident execution charge identically.
+        """
+        n = len(self.points)
+        limit = max(0, min(int(limit), n))
+        out = np.empty((len(queries), limit), dtype=np.float64)
+        if limit == 0 or len(queries) == 0:
+            return out
         query_perms = self.query_permutations(queries)
-        results: List[List[Neighbor]] = []
+        for start, stop in query_chunks(len(queries), n):
+            footrules = footrule_matrix_batch(
+                None,
+                query_perms[start:stop],
+                positions=self._perm_positions,
+                workspace=self._footrule_workspace,
+            )
+            means = footrules.mean(axis=1, keepdims=True)
+            if limit >= n:
+                block = np.sort(footrules, axis=1)
+            else:
+                block = np.sort(
+                    np.partition(footrules, limit - 1, axis=1)[:, :limit],
+                    axis=1,
+                )
+            out[start:stop] = block - means
+        return out
+
+    def _knn_approx_batch_impl(
+        self, queries: Sequence[Any], k: int, budget: Budget
+    ) -> NeighborArrays:
+        n = len(self.points)
+        row_budgets: Optional[np.ndarray] = None
+        if isinstance(budget, np.ndarray):
+            # Per-query budgets (the sharded global split): spent as
+            # allocated — zero-budget rows stay empty, with no k floor,
+            # so the global candidate total matches the requested budget.
+            row_budgets = np.minimum(
+                np.asarray(budget, dtype=np.int64), n
+            )
+            if not row_budgets.any():
+                return NeighborArrays.empty(len(queries))
+        else:
+            budget = self._clamp_budget(k, budget)
+        query_perms = self.query_permutations(queries)
+        dist_parts: List[np.ndarray] = []
+        index_parts: List[np.ndarray] = []
+        counts = np.zeros(len(queries), dtype=np.int64)
         # Chunking here bounds the (queries x n) footrule *output*;
         # footrule_matrix_batch additionally bounds its 3-d intermediate.
-        for start, stop in query_chunks(len(queries), len(self.points)):
+        for start, stop in query_chunks(len(queries), n):
             footrules = footrule_matrix_batch(
                 None,
                 query_perms[start:stop],
@@ -306,16 +367,24 @@ class DistPermIndex(Index):
                 workspace=self._footrule_workspace,
             )
             for offset, row in enumerate(footrules):
-                query = queries[start + offset]
-                candidates = _budget_candidates(row, budget)
+                q = start + offset
+                b = int(row_budgets[q]) if row_budgets is not None else budget
+                candidates = _budget_candidates(row, b)
+                if candidates.shape[0] == 0:
+                    continue
                 distances = self.metric.batch_distances(
-                    [query], take_points(self.points, candidates)
+                    [queries[q]], take_points(self.points, candidates)
                 )[0]
                 order = np.lexsort((candidates, distances))[:k]
-                results.append(
-                    [
-                        Neighbor(float(distances[j]), int(candidates[j]))
-                        for j in order
-                    ]
-                )
-        return results
+                dist_parts.append(distances[order])
+                index_parts.append(candidates[order])
+                counts[q] = order.shape[0]
+        offsets = np.zeros(len(queries) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if not dist_parts:
+            return NeighborArrays.empty(len(queries))
+        return NeighborArrays(
+            np.concatenate(dist_parts),
+            np.concatenate(index_parts).astype(np.int64),
+            offsets,
+        )

@@ -29,7 +29,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.index.base import Index, Neighbor
+from repro.index.base import Index, Neighbor, NeighborArrays
 from repro.index.batching import (
     PRUNE_SAFETY,
     BatchKnnState,
@@ -37,6 +37,7 @@ from repro.index.batching import (
     heap_neighbors,
     heap_radius,
     offer,
+    rows_from_pairs,
     take_points,
 )
 from repro.metrics.base import Metric
@@ -211,30 +212,41 @@ class GHTree(Index):
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
-        results: List[List[Neighbor]] = [[] for _ in range(n_queries)]
+        hit_queries: List[np.ndarray] = []
+        hit_indices: List[np.ndarray] = []
+        hit_distances: List[np.ndarray] = []
         query_ids = np.arange(n_queries, dtype=np.int64)
         nodes = np.zeros(n_queries, dtype=np.int64)
         while query_ids.size:
             da, db, has_b = self._level_distances(queries, query_ids, nodes)
-            for j in np.flatnonzero(da <= radius):
-                results[int(query_ids[j])].append(
-                    Neighbor(float(da[j]), int(self._center_a[nodes[j]]))
-                )
-            for j in has_b[db[has_b] <= radius]:
-                results[int(query_ids[j])].append(
-                    Neighbor(float(db[j]), int(self._center_b[nodes[j]]))
-                )
+            hits_a = np.flatnonzero(da <= radius)
+            if hits_a.shape[0]:
+                hit_queries.append(query_ids[hits_a])
+                hit_indices.append(self._center_a[nodes[hits_a]])
+                hit_distances.append(da[hits_a])
+            hits_b = has_b[db[has_b] <= radius]
+            if hits_b.shape[0]:
+                hit_queries.append(query_ids[hits_b])
+                hit_indices.append(self._center_b[nodes[hits_b]])
+                hit_distances.append(db[hits_b])
             query_ids, nodes = self._surviving_children(
                 query_ids, nodes, da, db, has_b,
                 np.full(query_ids.shape[0], radius),
             )
-        return results
+        if not hit_queries:
+            return NeighborArrays.empty(n_queries)
+        return rows_from_pairs(
+            n_queries,
+            np.concatenate(hit_queries),
+            np.concatenate(hit_indices),
+            np.concatenate(hit_distances),
+        )
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
         state = BatchKnnState(n_queries, k)
         query_ids = np.arange(n_queries, dtype=np.int64)
@@ -252,6 +264,6 @@ class GHTree(Index):
 
     def _knn_approx_batch_impl(
         self, queries: Sequence[Any], k: int, budget: Optional[int]
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         # Exact search; the budget is ignored, as in the single-query path.
         return self._knn_batch_impl(queries, k)

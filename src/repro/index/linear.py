@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence
 
-from repro.index.base import Index, Neighbor
+from repro.index.base import Index, Neighbor, NeighborArrays
 from repro.index.batching import (
     exhaustive_knn_batch,
     exhaustive_range_batch,
@@ -45,10 +45,10 @@ class LinearScan(Index):
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         return exhaustive_range_batch(self.metric, queries, self.points, radius)
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         return exhaustive_knn_batch(self.metric, queries, self.points, k)

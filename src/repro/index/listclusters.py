@@ -27,7 +27,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.index.base import Index, Neighbor
+from repro.index.base import Index, Neighbor, NeighborArrays
 from repro.index.batching import (
     PRUNE_SAFETY,
     BatchKnnState,
@@ -35,6 +35,7 @@ from repro.index.batching import (
     heap_neighbors,
     heap_radius,
     offer,
+    rows_from_pairs,
     take_points,
 )
 from repro.metrics.base import Metric
@@ -229,18 +230,23 @@ class ListOfClusters(Index):
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
-        results: List[List[Neighbor]] = [[] for _ in range(n_queries)]
+        hit_queries: List[np.ndarray] = []
+        hit_indices: List[np.ndarray] = []
+        hit_distances: List[np.ndarray] = []
         active = np.arange(n_queries, dtype=np.int64)
         for c in range(self._centers.shape[0]):
             if active.size == 0:
                 break
             d_center = self._center_distances(queries, active, c)
-            for j in np.flatnonzero(d_center <= radius):
-                results[int(active[j])].append(
-                    Neighbor(float(d_center[j]), int(self._centers[c]))
+            hits = np.flatnonzero(d_center <= radius)
+            if hits.shape[0]:
+                hit_queries.append(active[hits])
+                hit_indices.append(
+                    np.full(hits.shape[0], self._centers[c], dtype=np.int64)
                 )
+                hit_distances.append(d_center[hits])
             pair_queries, pair_items = self._bucket_pairs(
                 active, d_center, np.full(active.shape[0], radius), c
             )
@@ -248,17 +254,25 @@ class ListOfClusters(Index):
                 pair_d = frontier_distances(
                     self.metric, queries, self.points, pair_queries, pair_items
                 )
-                for j in np.flatnonzero(pair_d <= radius):
-                    results[int(pair_queries[j])].append(
-                        Neighbor(float(pair_d[j]), int(pair_items[j]))
-                    )
+                hits = np.flatnonzero(pair_d <= radius)
+                if hits.shape[0]:
+                    hit_queries.append(pair_queries[hits])
+                    hit_indices.append(pair_items[hits])
+                    hit_distances.append(pair_d[hits])
             eps = PRUNE_SAFETY * (1.0 + radius)
             active = active[~(d_center + radius < self._radii[c] - eps)]
-        return results
+        if not hit_queries:
+            return NeighborArrays.empty(n_queries)
+        return rows_from_pairs(
+            n_queries,
+            np.concatenate(hit_queries),
+            np.concatenate(hit_indices),
+            np.concatenate(hit_distances),
+        )
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
         state = BatchKnnState(n_queries, k)
         active = np.arange(n_queries, dtype=np.int64)
@@ -286,6 +300,6 @@ class ListOfClusters(Index):
 
     def _knn_approx_batch_impl(
         self, queries: Sequence[Any], k: int, budget: Optional[int]
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         # Exact search; the budget is ignored, as in the single-query path.
         return self._knn_batch_impl(queries, k)

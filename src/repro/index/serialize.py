@@ -301,6 +301,7 @@ def load_sharded(
     resident: bool = False,
     policy=None,
     faults=None,
+    budget_split: str = "auto",
 ) -> ShardedIndex:
     """Reconstruct a sharded permutation index from a saved payload.
 
@@ -308,8 +309,9 @@ def load_sharded(
     restored against its own contiguous slice (with the same probe check
     as :func:`load_distperm`) and no build distances are recomputed.
     ``workers`` selects the loaded index's execution backend, independent
-    of how the saved index ran; ``resident`` / ``policy`` / ``faults``
-    configure the supervised worker runtime exactly as on
+    of how the saved index ran; ``resident`` / ``policy`` / ``faults`` /
+    ``budget_split`` configure the supervised worker runtime and the
+    ``knn_approx`` budget division exactly as on
     :class:`~repro.index.sharded.ShardedIndex` — resident workers of a
     disk-backed index reload their shard from this payload file on every
     respawn.  Corrupt shard data raises :class:`PayloadCorruptError`
@@ -345,7 +347,7 @@ def load_sharded(
     index.stats = SearchStats()
     index._inner_factory = DistPermIndex
     index._requested_shards = n_shards
-    index._init_runtime(workers, resident, policy, faults)
+    index._init_runtime(workers, resident, policy, faults, budget_split)
     index._payload_path = os.fspath(path)
     index.shard_offsets = offsets
     index.shards = [

@@ -31,7 +31,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.index.base import Index, Neighbor
+from repro.index.base import Index, Neighbor, NeighborArrays
 from repro.index.batching import (
     PRUNE_SAFETY,
     BatchKnnState,
@@ -39,6 +39,7 @@ from repro.index.batching import (
     heap_neighbors,
     heap_radius,
     offer,
+    rows_from_pairs,
     take_points,
 )
 from repro.metrics.base import Metric
@@ -199,9 +200,11 @@ class VPTree(Index):
 
     def _range_batch_impl(
         self, queries: Sequence[Any], radius: float
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
-        results: List[List[Neighbor]] = [[] for _ in range(n_queries)]
+        hit_queries: List[np.ndarray] = []
+        hit_indices: List[np.ndarray] = []
+        hit_distances: List[np.ndarray] = []
         query_ids = np.arange(n_queries, dtype=np.int64)
         nodes = np.zeros(n_queries, dtype=np.int64)
         while query_ids.size:
@@ -209,19 +212,27 @@ class VPTree(Index):
                 self.metric, queries, self.points,
                 query_ids, self._vantage[nodes],
             )
-            for j in np.flatnonzero(distances <= radius):
-                results[int(query_ids[j])].append(
-                    Neighbor(float(distances[j]), int(self._vantage[nodes[j]]))
-                )
+            hits = np.flatnonzero(distances <= radius)
+            if hits.shape[0]:
+                hit_queries.append(query_ids[hits])
+                hit_indices.append(self._vantage[nodes[hits]])
+                hit_distances.append(distances[hits])
             query_ids, nodes = self._surviving_children(
                 query_ids, nodes, distances,
                 np.full(query_ids.shape[0], radius),
             )
-        return results
+        if not hit_queries:
+            return NeighborArrays.empty(n_queries)
+        return rows_from_pairs(
+            n_queries,
+            np.concatenate(hit_queries),
+            np.concatenate(hit_indices),
+            np.concatenate(hit_distances),
+        )
 
     def _knn_batch_impl(
         self, queries: Sequence[Any], k: int
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         n_queries = len(queries)
         state = BatchKnnState(n_queries, k)
         query_ids = np.arange(n_queries, dtype=np.int64)
@@ -239,6 +250,6 @@ class VPTree(Index):
 
     def _knn_approx_batch_impl(
         self, queries: Sequence[Any], k: int, budget: Optional[int]
-    ) -> List[List[Neighbor]]:
+    ) -> NeighborArrays:
         # Exact search; the budget is ignored, as in the single-query path.
         return self._knn_batch_impl(queries, k)

@@ -48,6 +48,8 @@ import numpy as np
 __all__ = [
     "SharedArray",
     "SharedDataset",
+    "consume_array",
+    "discard_array",
     "decode_strings",
     "sweep_stale_segments",
 ]
@@ -237,11 +239,63 @@ class SharedArray:
                 pass
             self._shm = None
 
+    def close_local(self) -> None:
+        """Drop the owner's mapping but keep the segment alive.
+
+        For reply payloads consumed (and unlinked) by another process:
+        the publishing worker frees its own mapping as soon as the
+        descriptor is on the wire, while the ``atexit`` registration
+        keeps covering the segment in case the consumer never reads it.
+        """
+        if self._shm is not None:
+            self._local = None
+            try:
+                self._shm.close()
+            except OSError:
+                pass
+
     def __reduce__(self):
         return (SharedArray, (self.name, self.dtype, self.shape))
 
     def __repr__(self) -> str:
         return f"SharedArray({self.name!r}, {self.dtype}, {self.shape})"
+
+
+def discard_array(descriptor: SharedArray) -> None:
+    """Unlink a reply segment without reading it (receiver side).
+
+    For stale replies the supervisor drops: the worker that published
+    the segment has already closed its mapping, so unlinking here is
+    what actually frees the memory.  Missing segments are ignored.
+    """
+    try:
+        try:
+            shm = shared_memory.SharedMemory(name=descriptor.name, track=False)
+        except TypeError:  # track= is 3.13+; see _attach for older behavior
+            shm = shared_memory.SharedMemory(name=descriptor.name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def consume_array(descriptor: SharedArray) -> np.ndarray:
+    """Copy a reply segment's array out, then unlink it (receiver side).
+
+    The handshake for one-shot worker-to-supervisor payloads: the worker
+    publishes, ships the descriptor, and drops its mapping; the
+    supervisor copies the data out here and removes the segment.  Raises
+    ``FileNotFoundError`` if the segment is already gone — callers treat
+    that as a corrupt reply.
+    """
+    try:
+        data = _read_once(descriptor.name, descriptor.dtype, descriptor.shape)
+    finally:
+        discard_array(descriptor)
+    return data
 
 
 def decode_strings(codes: np.ndarray, lengths: np.ndarray) -> List[str]:

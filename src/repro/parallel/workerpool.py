@@ -31,6 +31,25 @@ the fresh worker or *degrades* to the surviving shards, per the policy:
   (:class:`~repro.index.base.SearchStats` carries ``degraded`` /
   ``shards_answered`` / per-shard latencies upstream).
 
+Replies are columnar: a worker answers every query op with the
+``(distances, indices, offsets)`` arrays of a
+:class:`~repro.index.base.NeighborArrays` — never a pickled
+``Neighbor`` list — sent inline through the pipe when small and as
+one-shot shared-memory segments (descriptors on the pipe, payload in
+``/dev/shm``) past ``_INLINE_REPLY_BYTES``; the supervisor validates
+each op's exact shape contract (:func:`_validate_arrays`) and accounts
+the shipped bytes per shard into ``SearchStats.reply_bytes``.  Two
+non-query ops ride the same wire: ``"footrules"`` ships the per-query
+centered footrule matrix that feeds ``ShardedIndex``'s global budget
+split — the supervisor merges every shard's centered values into one
+ranking and allocates each shard exactly its share of the global
+top-``budget``, which is also how a dead shard's budget share flows to
+the survivors under ``on_partial="degrade"`` — and ``"state"`` ships a
+freshly built shard's pickled state back to the owner, so
+``resident=True`` builds happen *in* the pinned workers
+(:class:`BuildShardSource` rebuilds the same shard deterministically on
+respawn).
+
 Heartbeats ride the same wire: :meth:`WorkerPool.ping` round-trips a
 tiny message through every worker, and :meth:`WorkerPool.check`
 additionally respawns the workers that failed it — the monitor loop a
@@ -46,6 +65,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import pickle
 import signal
 import time
 import traceback
@@ -53,9 +73,16 @@ from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.parallel.executor import _default_context
 from repro.parallel.faults import FaultInjector, FaultSpec, faults_from_env
-from repro.parallel.sharedmem import SharedDataset
+from repro.parallel.sharedmem import (
+    SharedArray,
+    SharedDataset,
+    consume_array,
+    discard_array,
+)
 
 __all__ = [
     "QueryPolicy",
@@ -64,8 +91,133 @@ __all__ = [
     "ShardTimeoutError",
     "ShmShardSource",
     "FileShardSource",
+    "BuildShardSource",
     "WorkerPool",
 ]
+
+#: Replies whose payload is at or under this many bytes ship inline
+#: through the pipe; larger ones go through a one-shot shared-memory
+#: segment and only the descriptors cross the pipe.
+_INLINE_REPLY_BYTES = 1 << 18
+
+
+def _ship_arrays(
+    arrays: Sequence[np.ndarray],
+) -> Tuple[Tuple[str, tuple], int]:
+    """Package reply arrays for the wire (worker side).
+
+    Returns ``(payload, nbytes)`` where ``payload`` is
+    ``("inline", (ndarray, ...))`` for small replies or
+    ``("shm", (SharedArray, ...))`` for large ones, and ``nbytes`` is
+    the total payload size either way — the per-shard figure surfaced as
+    ``SearchStats.reply_bytes`` upstream.
+    """
+    nbytes = sum(int(a.nbytes) for a in arrays)
+    if nbytes <= _INLINE_REPLY_BYTES:
+        return ("inline", tuple(arrays)), nbytes
+    return ("shm", tuple(SharedArray.publish(a) for a in arrays)), nbytes
+
+
+def _consume_payload(payload: Any) -> Optional[Tuple[np.ndarray, ...]]:
+    """Materialize a reply payload (supervisor side).
+
+    Returns the array tuple, or ``None`` when the wire format is off —
+    including a shm descriptor whose segment has vanished.
+    """
+    if not (isinstance(payload, tuple) and len(payload) == 2):
+        return None
+    mode, items = payload
+    if not isinstance(items, tuple):
+        return None
+    if mode == "inline":
+        if not all(isinstance(item, np.ndarray) for item in items):
+            return None
+        return items
+    if mode == "shm":
+        if not all(isinstance(item, SharedArray) for item in items):
+            return None
+        try:
+            return tuple(consume_array(item) for item in items)
+        except FileNotFoundError:
+            return None
+    return None
+
+
+def _discard_payload(reply: Any) -> None:
+    """Free the shm segments of a reply that will never be consumed.
+
+    Stale replies (to requests the supervisor already abandoned) are
+    dropped without reading; their segments must still be unlinked here,
+    because the publishing worker has already closed its own mapping.
+    """
+    if not (isinstance(reply, tuple) and len(reply) >= 3):
+        return
+    payload = reply[2]
+    if (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and payload[0] == "shm"
+        and isinstance(payload[1], tuple)
+    ):
+        for item in payload[1]:
+            if isinstance(item, SharedArray):
+                discard_array(item)
+
+
+def _validate_arrays(
+    op: str, n_queries: int, arrays: Tuple[np.ndarray, ...]
+) -> Optional[Any]:
+    """Check a decoded payload against the op's shape contract.
+
+    Query ops must ship exactly the three result columns (float64
+    distances, int64 indices, and a monotone int64 offsets vector of
+    ``n_queries + 1`` entries closing over the columns); ``footrules``
+    ships one float64 matrix with a row per query (centered footrule
+    values, ascending within each row); ``state`` ships one
+    uint8 blob.  Returns the materialized result (``NeighborArrays``,
+    the matrix, or the blob) or ``None`` on any mismatch — the caller
+    treats ``None`` as a corrupt reply.
+    """
+    from repro.index.base import NeighborArrays
+
+    if op in ("range", "knn", "knn-approx"):
+        if len(arrays) != 3:
+            return None
+        distances, indices, offsets = arrays
+        if (
+            distances.dtype != np.float64
+            or distances.ndim != 1
+            or indices.dtype != np.int64
+            or indices.ndim != 1
+            or offsets.dtype != np.int64
+            or offsets.ndim != 1
+            or offsets.shape[0] != n_queries + 1
+            or indices.shape[0] != distances.shape[0]
+            or offsets[0] != 0
+            or offsets[-1] != distances.shape[0]
+            or bool(np.any(np.diff(offsets) < 0))
+        ):
+            return None
+        return NeighborArrays(distances, indices, offsets)
+    if op == "footrules":
+        if len(arrays) != 1:
+            return None
+        matrix = arrays[0]
+        if (
+            matrix.dtype != np.float64
+            or matrix.ndim != 2
+            or matrix.shape[0] != n_queries
+        ):
+            return None
+        return matrix
+    if op == "state":
+        if len(arrays) != 1:
+            return None
+        blob = arrays[0]
+        if blob.dtype != np.uint8 or blob.ndim != 1:
+            return None
+        return blob
+    return None
 
 
 @dataclass(frozen=True)
@@ -169,16 +321,50 @@ class FileShardSource:
         return restore_shard(payload, points, self.metric, shard=self.shard)
 
 
+class BuildShardSource:
+    """Build a worker's shard from scratch inside the worker itself.
+
+    For resident builds: the owner publishes the *raw* point set once
+    and each worker constructs its own slice's index in-process, so the
+    shard builds run concurrently instead of serially in the owner.  The
+    owner collects the finished structures over the wire with the
+    ``"state"`` op (one pickled ``(class, state-dict)`` blob per shard,
+    shipped like any other array reply); a respawned worker rebuilds the
+    same shard from the same publication, which is why inner factories
+    must be deterministic.
+    """
+
+    def __init__(
+        self,
+        dataset: SharedDataset,
+        start: int,
+        stop: int,
+        factory: Any,
+        metric: Any,
+    ):
+        self.dataset = dataset
+        self.start = start
+        self.stop = stop
+        self.factory = factory
+        self.metric = metric
+
+    def load(self):
+        points = self.dataset.resolve()[self.start : self.stop]
+        return self.factory(points, self.metric)
+
+
 def _worker_main(conn, shard_id, source, fault_specs, generation) -> None:
     """Body of one pinned worker: load the shard, answer until shutdown.
 
     Loading happens before the request loop; requests sent meanwhile
     simply wait in the pipe.  A load failure exits the process — the
     supervisor sees the sentinel and treats it like any crash.  Replies
-    are ``(request_id, "ok", results, metric_delta)`` /
-    ``(request_id, "error", traceback)`` / ``(request_id, "pong",
-    generation)``; anything else a worker might emit (see the corrupt
-    injector) fails supervisor-side validation.
+    are ``(request_id, "ok", payload, metric_delta, reply_bytes)`` with
+    the result *columns* packaged by :func:`_ship_arrays` — never
+    pickled ``Neighbor`` lists — or ``(request_id, "error",
+    traceback)`` / ``(request_id, "pong", generation)``; anything else a
+    worker might emit (see the corrupt injector) fails supervisor-side
+    validation.
     """
     injector = FaultInjector(
         fault_specs, shard=shard_id, generation=generation
@@ -200,34 +386,70 @@ def _worker_main(conn, shard_id, source, fault_specs, generation) -> None:
             continue
         # kind == "query"
         _, request_id, op, queries, arg, budget = message
-        action = injector.next_action()
-        if action is not None:
-            if action.kind == "kill":
-                os.kill(os.getpid(), signal.SIGKILL)
-            if action.kind == "stall":
-                time.sleep(action.stall_s)
-            if action.kind == "corrupt":
-                try:
-                    conn.send((request_id, "ok", "corrupt-reply"))
-                except (BrokenPipeError, OSError):
-                    break
-                continue
+        if op != "state":
+            # State collection is build-path plumbing, not a query;
+            # keeping it off the injector's counter keeps ``request=N``
+            # fault specs aligned with the N-th actual query request.
+            action = injector.next_action()
+            if action is not None:
+                if action.kind == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if action.kind == "stall":
+                    time.sleep(action.stall_s)
+                if action.kind == "corrupt":
+                    try:
+                        conn.send((request_id, "ok", "corrupt-reply"))
+                    except (BrokenPipeError, OSError):
+                        break
+                    continue
         before = index.metric.count
+        payload = None
         try:
             if op == "range":
-                results = index.range_batch(queries, arg)
+                rows = index.range_batch_arrays(queries, arg)
+                arrays = (rows.distances, rows.indices, rows.offsets)
             elif op == "knn":
-                results = index.knn_batch(queries, arg)
+                rows = index.knn_batch_arrays(queries, arg)
+                arrays = (rows.distances, rows.indices, rows.offsets)
+            elif op == "knn-approx":
+                rows = index.knn_approx_batch_arrays(
+                    queries, arg, budget=budget
+                )
+                arrays = (rows.distances, rows.indices, rows.offsets)
+            elif op == "footrules":
+                # The per-shard limit rides the budgets slot.
+                arrays = (index.query_footrules(queries, budget),)
+            elif op == "state":
+                state = {
+                    key: value
+                    for key, value in index.__dict__.items()
+                    if key != "points"
+                }
+                blob = pickle.dumps(
+                    (type(index), state), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                arrays = (np.frombuffer(blob, dtype=np.uint8),)
             else:
-                results = index.knn_approx_batch(queries, arg, budget=budget)
+                raise ValueError(f"unknown worker op {op!r}")
+            payload, reply_bytes = _ship_arrays(arrays)
             reply = (
-                request_id, "ok", results, index.metric.count - before
+                request_id, "ok", payload,
+                index.metric.count - before, reply_bytes,
             )
         except Exception:
             reply = (request_id, "error", traceback.format_exc())
+        send_failed = False
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
+            send_failed = True
+        if payload is not None and payload[0] == "shm":
+            # The descriptors are on the wire; the supervisor unlinks
+            # the segments after reading.  Drop this side's mapping now
+            # so a long-lived worker holds no reply memory.
+            for shipped in payload[1]:
+                shipped.close_local()
+        if send_failed:
             break
 
 
@@ -387,7 +609,9 @@ class WorkerPool:
                 ):
                     answered = True
                     break
-                # Stale reply from an abandoned request: drain and retry.
+                # Stale reply from an abandoned request: free any shm
+                # payload it carries, drain it, and retry.
+                _discard_payload(reply)
             alive.append(answered)
         return alive
 
@@ -416,32 +640,56 @@ class WorkerPool:
         op: str,
         queries: Sequence[Any],
         arg: Any,
-        budgets: Sequence[Optional[int]],
+        budgets: Sequence[Any],
         policy: QueryPolicy,
-    ) -> Tuple[List[Optional[List]], List[int], List[Optional[float]]]:
-        """Fan one batched operation out to every shard, supervised.
+        active: Optional[Sequence[bool]] = None,
+    ) -> Tuple[
+        List[Optional[Any]],
+        List[int],
+        List[Optional[float]],
+        List[Optional[int]],
+    ]:
+        """Fan one batched operation out to the active shards, supervised.
 
-        Returns ``(results, deltas, latencies)``, one entry per shard;
-        a shard that failed past the policy's bounds has ``None``
-        results (possible only with ``on_partial="degrade"`` — the
-        ``"raise"`` policy raises instead, after respawning the failed
-        worker so the pool stays serviceable).
+        Returns ``(results, deltas, latencies, reply_bytes)``, one entry
+        per shard; a shard that failed past the policy's bounds — or was
+        masked out by ``active`` — has ``None`` results (failures leave
+        ``None`` only with ``on_partial="degrade"``; the ``"raise"``
+        policy raises instead, after respawning the failed worker so the
+        pool stays serviceable).  Query-op results come back as
+        :class:`~repro.index.base.NeighborArrays` columns, ``footrules``
+        as one int64 matrix, ``state`` as one uint8 blob; every reply
+        crosses the process boundary as arrays (inline or through a
+        one-shot shared-memory segment), never as pickled ``Neighbor``
+        lists.  ``reply_bytes`` is each shard's payload size.
+
+        ``budgets`` is per-shard and op-specific: the ``knn-approx``
+        budget (a scalar or a per-query int array), or the ``footrules``
+        candidate limit.  ``active`` masks shards out of the fan-out
+        entirely — the global budget split uses it to skip shards whose
+        allocation is zero and shards that already failed its first
+        phase.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
         n = self.n_shards
+        n_queries = len(queries)
         deadline_at = (
             None
             if policy.deadline is None
             else time.perf_counter() + policy.deadline
         )
-        results: List[Optional[List]] = [None] * n
+        results: List[Optional[Any]] = [None] * n
         deltas = [0] * n
         latencies: List[Optional[float]] = [None] * n
+        reply_bytes: List[Optional[int]] = [None] * n
         request_ids = [0] * n
         started = [0.0] * n
         attempts = [0] * n
-        pending = set(range(n))
+        pending = {
+            shard for shard in range(n)
+            if active is None or active[shard]
+        }
 
         def send(shard: int) -> bool:
             attempts[shard] += 1
@@ -483,7 +731,7 @@ class WorkerPool:
                 f"retries={policy.retries} ({detail})", shard=shard,
             )
 
-        for shard in range(n):
+        for shard in sorted(pending):
             if not send(shard):
                 fail(shard, "crash", "worker pipe closed at send")
         while pending:
@@ -530,7 +778,9 @@ class WorkerPool:
                 ):
                     # Stale reply to a request this pool already
                     # abandoned (an earlier raise left it in flight);
-                    # drop it and keep waiting for the current one.
+                    # free its shm payload, drop it, and keep waiting
+                    # for the current one.
+                    _discard_payload(reply)
                     continue
                 if (
                     isinstance(reply, tuple)
@@ -546,19 +796,32 @@ class WorkerPool:
                     )
                 if not (
                     isinstance(reply, tuple)
-                    and len(reply) == 4
+                    and len(reply) == 5
                     and reply[1] == "ok"
-                    and isinstance(reply[2], list)
                     and isinstance(reply[3], int)
+                    and isinstance(reply[4], int)
                 ):
                     fail(shard, "corrupt", f"malformed reply {reply!r:.80}")
                     continue
-                results[shard] = reply[2]
+                arrays = _consume_payload(reply[2])
+                decoded = (
+                    None
+                    if arrays is None
+                    else _validate_arrays(op, n_queries, arrays)
+                )
+                if decoded is None:
+                    fail(
+                        shard, "corrupt",
+                        f"malformed {op} reply payload from shard {shard}",
+                    )
+                    continue
+                results[shard] = decoded
                 deltas[shard] = reply[3]
                 latencies[shard] = time.perf_counter() - started[shard]
+                reply_bytes[shard] = reply[4]
                 self._failures[shard] = 0
                 pending.discard(shard)
-        return results, deltas, latencies
+        return results, deltas, latencies, reply_bytes
 
     # ------------------------------------------------------------------
     # Shutdown.
