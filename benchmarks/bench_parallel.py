@@ -337,6 +337,26 @@ def main(argv=None):
             run_vector_workload(50_000, 1_000, workers, rng),
         ]
 
+    # Any acceptance floor this run does NOT assert is declared here,
+    # recorded in the JSON, and annotated in the CI log — a skipped
+    # guard must never look like a passed one.
+    cpus = os.cpu_count() or 1
+    guards_skipped = []
+    if args.smoke:
+        guards_skipped.append({
+            "guard": f"dictionary build+query speedup >= "
+                     f"{REQUIRED_SPEEDUP}x at {WORKERS} workers",
+            "reason": "--smoke sizes exercise the machinery end to end "
+                      "but are too small to claim a speedup",
+        })
+    elif cpus < WORKERS:
+        guards_skipped.append({
+            "guard": f"dictionary build+query speedup >= "
+                     f"{REQUIRED_SPEEDUP}x at {WORKERS} workers",
+            "reason": f"{cpus} CPU(s) available, floor needs >= {WORKERS}; "
+                      "speedups recorded as measured",
+        })
+
     report = {
         "bench": "bench_parallel",
         "python": platform.python_version(),
@@ -344,6 +364,7 @@ def main(argv=None):
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "smoke": args.smoke,
+        "guards_skipped": guards_skipped,
         "workloads": workloads,
     }
     output = args.output
@@ -383,30 +404,31 @@ def main(argv=None):
                 f"global split {point['recall_sharded_global']}"
             )
 
-    if not args.smoke:
-        cpus = os.cpu_count() or 1
+    if not args.smoke and cpus >= WORKERS:
         dictionary = workloads[0]["configs"][0]
         achieved = min(
             dictionary["build_speedup"], dictionary["query_speedup"]
         )
-        if cpus >= WORKERS:
-            if achieved < REQUIRED_SPEEDUP:
-                print(
-                    f"FAIL: dictionary build+query speedup {achieved}x at "
-                    f"{WORKERS} workers is below {REQUIRED_SPEEDUP}x "
-                    f"on a {cpus}-CPU machine"
-                )
-                return 1
+        if achieved < REQUIRED_SPEEDUP:
             print(
-                f"OK: dictionary build+query speedup {achieved}x >= "
-                f"{REQUIRED_SPEEDUP}x at {WORKERS} workers"
+                f"FAIL: dictionary build+query speedup {achieved}x at "
+                f"{WORKERS} workers is below {REQUIRED_SPEEDUP}x "
+                f"on a {cpus}-CPU machine"
             )
-        else:
-            print(
-                f"NOTE: {cpus} CPU(s) available; the {REQUIRED_SPEEDUP}x "
-                f"floor at {WORKERS} workers needs >= {WORKERS} CPUs and "
-                "is not asserted here (speedups recorded as measured)"
-            )
+            return 1
+        print(
+            f"OK: dictionary build+query speedup {achieved}x >= "
+            f"{REQUIRED_SPEEDUP}x at {WORKERS} workers"
+        )
+    for skipped in guards_skipped:
+        # The ::notice form surfaces as a GitHub Actions annotation, so
+        # a skipped floor is visible on the workflow summary, not just
+        # buried in a step's stdout.
+        print(f"GUARD SKIPPED: {skipped['guard']} ({skipped['reason']})")
+        print(
+            "::notice file=benchmarks/bench_parallel.py::"
+            f"guard skipped: {skipped['guard']} — {skipped['reason']}"
+        )
     return 0
 
 

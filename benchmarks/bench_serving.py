@@ -1,0 +1,369 @@
+"""Bench: the micro-batched query service under open-loop load.
+
+Measures what the serving layer (:mod:`repro.serve`) is for: how much
+online throughput micro-batching buys over a one-request-one-query
+loop against the same engine.  A ``repro serve`` server runs as a real
+subprocess on a unix socket; the driver measures
+
+1. **naive** — a server with batching disabled (``--max-batch 1
+   --max-wait-ms 0``): first a closed-loop client (one request, one
+   query, wait, repeat) for the unloaded baseline, then the same
+   open-loop ladder as below for its *sustained* rate.
+2. **micro-batched** — a batching server (the default window knobs)
+   under open-loop Poisson load (:mod:`repro.serve.loadgen`) at a
+   ladder of offered rates.
+
+Both systems are held to the same fixed p99 SLO (``SLO_P99_S``):
+*sustained qps* is the highest offered rate a service absorbs
+completely (no rejections, no errors, achieved ≈ offered) with p99
+within the SLO.  Comparing closed-loop naive latency against a loaded
+batching server would be methodologically wrong in both directions —
+the closed loop self-throttles (hiding the naive server's queueing
+collapse) and its unloaded p99 is below any batching window by
+construction.  A shared open-loop SLO measures the only question that
+matters to capacity planning: at a latency bound clients accept, how
+much load does each design carry?
+
+3. **window sweep** — the same offered load against several
+   ``--max-wait-ms`` settings, recording p50/p99 and the realized mean
+   batch size per window (from the server's ``STATS`` op), the data
+   behind the README's tuning guidance.
+
+Every server is stopped with SIGTERM and must exit 0: a run only
+counts if the graceful drain answered everything it admitted.
+
+The acceptance guard is **always armed**, smoke mode included (unlike
+the CPU-gated speedup floors elsewhere in this directory, batching
+amortization does not need extra cores): sustained micro-batched qps
+must beat the naive loop — by ``REQUIRED_SPEEDUP``x (3x) in full mode,
+and at all (1x) in smoke mode's tiny sizes.
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.serve.client import SyncClient  # noqa: E402
+from repro.serve.loadgen import run_open_loop  # noqa: E402
+
+#: Full-mode acceptance floor: sustained micro-batched qps over the
+#: one-request-one-query loop, at equal-or-better p99.
+REQUIRED_SPEEDUP = 3.0
+#: Smoke-mode floor: micro-batching must still win outright.
+REQUIRED_SPEEDUP_SMOKE = 1.0
+
+#: The shared latency bound: a service point only counts as sustained
+#: if its open-loop p99 stays within this.
+SLO_P99_S = 0.1
+
+#: Offered-rate ladders, as multiples of the naive closed-loop qps.
+#: The naive server saturates near its closed-loop rate (queueing
+#: theory: utilization -> 1), so its ladder probes below and at it;
+#: the batching server's probes well past it.
+LADDER_NAIVE = (0.5, 0.7, 0.85, 1.0)
+LADDER_MICRO = (2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0)
+LADDER_NAIVE_SMOKE = (0.6, 0.9)
+LADDER_MICRO_SMOKE = (2.0, 4.0)
+
+#: ``--max-wait-ms`` settings for the window sweep.
+WINDOWS_MS = (0.5, 2.0, 8.0)
+
+
+def _start_server(db_path, sock_path, extra):
+    """Launch ``repro serve`` on a unix socket; block until it answers."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--input", str(db_path), "--kind", "vectors", "--metric", "l2",
+         "--index", "linear", "--unix-socket", str(sock_path), *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read().decode("utf-8", "replace")
+            raise RuntimeError(f"server died during startup:\n{out}")
+        try:
+            with SyncClient(unix_path=str(sock_path), timeout=5.0) as client:
+                client.ping()
+            return proc
+        except (OSError, ConnectionError):
+            time.sleep(0.1)
+    proc.kill()
+    raise RuntimeError("server did not come up within 60s")
+
+
+def _stop_server(proc) -> None:
+    """SIGTERM and require a clean graceful-drain exit."""
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=60.0)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"server exited {proc.returncode} on SIGTERM (drain failed):\n"
+            + out.decode("utf-8", "replace")
+        )
+
+
+def _measure_naive(sock_path, pool, k, n_requests):
+    """Closed loop: one request per query, wait for each answer."""
+    latencies = []
+    with SyncClient(unix_path=str(sock_path)) as client:
+        for i in range(min(20, n_requests)):  # warm the path
+            client.knn(pool[i % len(pool)][None, :], k)
+        started = time.perf_counter()
+        for i in range(n_requests):
+            t0 = time.perf_counter()
+            client.knn(pool[i % len(pool)][None, :], k)
+            latencies.append(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - started
+    latencies = np.asarray(latencies)
+    return {
+        "requests": n_requests,
+        "qps": round(n_requests / elapsed, 1),
+        "p50_s": round(float(np.percentile(latencies, 50)), 6),
+        "p99_s": round(float(np.percentile(latencies, 99)), 6),
+    }
+
+
+def _warm(sock_path, pool, k, qps=400.0):
+    """Touch the whole engine path before measuring.
+
+    A fresh server's first batches pay numpy warmup and page faults for
+    the big distance intermediates; one batch's worth of slow requests
+    is enough to own a 4-second run's p99, so no measurement starts
+    cold.
+    """
+    asyncio.run(run_open_loop(
+        unix_path=str(sock_path), queries=pool, op="knn", k=k,
+        qps=qps, duration_s=0.5, seed=99,
+    ))
+
+
+def _stats_delta(sock_path):
+    """Return the server's (queries_answered, batches_executed) counters."""
+    with SyncClient(unix_path=str(sock_path)) as client:
+        stats = client.stats()
+    return stats["queries_answered"], stats["batches_executed"]
+
+
+def _offer(sock_path, pool, k, qps, duration_s, seed):
+    """One open-loop point, with the realized batch size across it."""
+    q0, b0 = _stats_delta(sock_path)
+    report = asyncio.run(run_open_loop(
+        unix_path=str(sock_path), queries=pool, op="knn", k=k,
+        qps=qps, duration_s=duration_s, seed=seed,
+    ))
+    q1, b1 = _stats_delta(sock_path)
+    point = report.to_dict()
+    point["mean_batch_size"] = (
+        round((q1 - q0) / (b1 - b0), 2) if b1 > b0 else None
+    )
+    for key in ("offered_qps", "achieved_qps"):
+        point[key] = round(point[key], 1)
+    for key in ("p50_s", "p99_s", "p999_s", "duration_s"):
+        if point[key] is not None:
+            point[key] = round(point[key], 6)
+    return point
+
+
+def _print_point(label, point):
+    p99 = point["p99_s"]
+    print(f"{label} offered {point['offered_qps']} qps: achieved "
+          f"{point['achieved_qps']} "
+          f"(p99 {'n/a' if p99 is None else f'{p99 * 1e3:.2f} ms'}, "
+          f"batch {point['mean_batch_size']}, "
+          f"{'sustained' if point['sustained'] else 'UNSUSTAINED'})")
+
+
+def _sustained(point, slo_p99_s):
+    """Did the service absorb this offered rate within the SLO?"""
+    return (
+        point["rejected"] == 0
+        and point["errored"] == 0
+        and point["answered"] == point["sent"]
+        and point["achieved_qps"] >= 0.9 * point["offered_qps"]
+        and point["p99_s"] is not None
+        and point["p99_s"] <= slo_p99_s
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Micro-batched query service benchmark"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI: subprocess server, naive loop, one "
+        "short open-loop ladder; the micro-batched-beats-naive guard "
+        "stays armed; writes no JSON unless --output is given",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help=f"result JSON path (default: {REPO_ROOT / 'BENCH_serving.json'})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n, dims, k = 2_000, 8, 5
+        naive_requests, duration_s = 150, 1.5
+        ladder_naive, ladder_micro = LADDER_NAIVE_SMOKE, LADDER_MICRO_SMOKE
+        windows_ms = ()
+        required = REQUIRED_SPEEDUP_SMOKE
+    else:
+        n, dims, k = 8_000, 16, 10
+        naive_requests, duration_s = 600, 4.0
+        ladder_naive, ladder_micro = LADDER_NAIVE, LADDER_MICRO
+        windows_ms = WINDOWS_MS
+        required = REQUIRED_SPEEDUP
+
+    rng = np.random.default_rng(20080415)
+    points = rng.random((n, dims))
+    pool = rng.random((512, dims))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        tmp = Path(tmp)
+        db_path = tmp / "db.txt"
+        np.savetxt(db_path, points, fmt="%.10f")
+
+        # 1. The one-request-one-query baseline: batching disabled.
+        #    Closed loop for the unloaded figure, then its own
+        #    open-loop ladder for the rate it sustains under the SLO.
+        sock = tmp / "naive.sock"
+        proc = _start_server(
+            db_path, sock, ["--max-batch", "1", "--max-wait-ms", "0"]
+        )
+        naive_points = []
+        naive_sustained = 0.0
+        try:
+            _warm(sock, pool, k)
+            naive = _measure_naive(sock, pool, k, naive_requests)
+            print(f"naive closed loop: {naive['qps']} qps, "
+                  f"p99 {naive['p99_s'] * 1e3:.2f} ms unloaded")
+            for i, factor in enumerate(ladder_naive):
+                point = _offer(sock, pool, k, factor * naive["qps"],
+                               duration_s, seed=1000 + i)
+                point["sustained"] = _sustained(point, SLO_P99_S)
+                naive_points.append(point)
+                _print_point("naive", point)
+                if point["sustained"]:
+                    naive_sustained = max(naive_sustained,
+                                          point["achieved_qps"])
+        finally:
+            _stop_server(proc)
+        if naive_sustained == 0.0:
+            # Be generous to the baseline rather than divide by a
+            # degenerate measurement: score it its closed-loop rate.
+            naive_sustained = naive["qps"]
+            print("note: no naive ladder point met the SLO; scoring the "
+                  "baseline its closed-loop rate")
+
+        # 2. Micro-batched under an offered-rate ladder.
+        sock = tmp / "micro.sock"
+        proc = _start_server(db_path, sock, [])
+        ladder_points = []
+        sustained_qps = 0.0
+        try:
+            _warm(sock, pool, k)
+            misses = 0
+            for i, factor in enumerate(ladder_micro):
+                point = _offer(sock, pool, k, factor * naive["qps"],
+                               duration_s, seed=i)
+                point["sustained"] = _sustained(point, SLO_P99_S)
+                ladder_points.append(point)
+                _print_point("micro", point)
+                if point["sustained"]:
+                    sustained_qps = max(sustained_qps,
+                                        point["achieved_qps"])
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses >= 2:
+                        break
+        finally:
+            _stop_server(proc)
+
+        # 3. Window sweep at a fixed offered rate.
+        sweep = []
+        sweep_qps = min(4.0 * naive["qps"], sustained_qps or naive["qps"])
+        for window_ms in windows_ms:
+            sock = tmp / f"w{window_ms}.sock"
+            proc = _start_server(
+                db_path, sock, ["--max-wait-ms", str(window_ms)]
+            )
+            try:
+                _warm(sock, pool, k)
+                point = _offer(sock, pool, k, sweep_qps, duration_s,
+                               seed=101)
+            finally:
+                _stop_server(proc)
+            point["max_wait_ms"] = window_ms
+            sweep.append(point)
+            print(f"window {window_ms} ms at {point['offered_qps']} qps: "
+                  f"p50 {point['p50_s'] * 1e3:.2f} ms, "
+                  f"p99 {point['p99_s'] * 1e3:.2f} ms, "
+                  f"batch {point['mean_batch_size']}")
+
+    speedup = (
+        round(sustained_qps / naive_sustained, 2) if naive_sustained else 0.0
+    )
+    report = {
+        "bench": "bench_serving",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "dataset": {"n": n, "dims": dims, "metric": "l2",
+                    "index": "linear", "k": k},
+        "slo_p99_s": SLO_P99_S,
+        "naive_closed_loop": naive,
+        "naive_ladder": naive_points,
+        "naive_sustained_qps": round(naive_sustained, 1),
+        "ladder": ladder_points,
+        "sustained_qps": round(sustained_qps, 1),
+        "speedup_vs_naive": speedup,
+        "required_speedup": required,
+        "window_sweep": sweep,
+    }
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_serving.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    # Always armed: micro-batching has to pay for itself on any machine.
+    if speedup < required:
+        print(f"FAIL: micro-batched sustained {report['sustained_qps']} qps "
+              f"is {speedup}x the naive loop's "
+              f"{report['naive_sustained_qps']} qps (< {required}x) at the "
+              f"shared p99 SLO of {SLO_P99_S * 1e3:.0f} ms")
+        return 1
+    print(f"OK: micro-batched sustains {report['sustained_qps']} qps = "
+          f"{speedup}x the naive loop's {report['naive_sustained_qps']} qps "
+          f"at the shared p99 SLO of {SLO_P99_S * 1e3:.0f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

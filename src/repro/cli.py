@@ -174,6 +174,80 @@ def build_parser() -> argparse.ArgumentParser:
                              "surviving shards (resident mode; "
                              "default raise)")
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve an index over a socket with micro-batched execution",
+    )
+    serve.add_argument("--input", required=True, help="database file")
+    serve.add_argument("--kind", choices=("vectors", "strings"),
+                       required=True)
+    serve.add_argument("--metric", choices=sorted(_METRICS), required=True)
+    serve.add_argument("--index", choices=sorted(_INDEXES), default="linear")
+    serve.add_argument("--sites", type=int, default=8,
+                       help="permutation sites for --index distperm")
+    serve.add_argument("--pivots", type=int, default=8,
+                       help="pivots for --index laesa")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--unix-socket", default=None,
+                       help="listen on this unix socket path")
+    serve.add_argument("--host", default=None,
+                       help="listen on this TCP host (with --port)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (0 = kernel-assigned)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="query rows per batching window (default 64)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="longest batching window in ms (default 2.0)")
+    serve.add_argument("--min-wait-ms", type=float, default=0.0,
+                       help="adaptive window floor in ms (default 0)")
+    serve.add_argument("--max-queue", type=int, default=4096,
+                       help="admission bound in query rows; past it "
+                            "requests are rejected with retry-after "
+                            "(default 4096)")
+    serve.add_argument("--no-adaptive", action="store_true",
+                       help="freeze the window at --max-wait-ms instead "
+                            "of adapting to load")
+    _add_parallel_flags(serve)
+    serve.add_argument("--resident", action="store_true",
+                       help="serve shards from supervised pinned worker "
+                            "processes (crash recovery; requires "
+                            "--shards/--workers)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query fan-out deadline in seconds "
+                            "(resident mode)")
+    serve.add_argument("--retries", type=int, default=None,
+                       help="extra attempts a failed shard gets "
+                            "(resident mode; default 1)")
+    serve.add_argument("--on-partial", choices=("raise", "degrade"),
+                       default=None,
+                       help="shard loss policy under resident serving; "
+                            "'degrade' flags partial answers on the wire")
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="offer open-loop Poisson load to a running query server",
+    )
+    bench_serve.add_argument("--input", required=True,
+                             help="query-pool file (same formats as serve)")
+    bench_serve.add_argument("--kind", choices=("vectors", "strings"),
+                             required=True)
+    bench_serve.add_argument("--unix-socket", default=None)
+    bench_serve.add_argument("--host", default=None)
+    bench_serve.add_argument("--port", type=int, default=None)
+    bench_serve.add_argument("--op", choices=("knn", "range", "knn-approx"),
+                             default="knn")
+    bench_serve.add_argument("--k", type=int, default=5)
+    bench_serve.add_argument("--radius", type=float, default=1.0)
+    bench_serve.add_argument("--budget", type=int, default=None)
+    bench_serve.add_argument("--qps", type=float, default=100.0,
+                             help="offered arrival rate (default 100)")
+    bench_serve.add_argument("--duration", type=float, default=5.0,
+                             help="seconds of offered load (default 5)")
+    bench_serve.add_argument("--connections", type=int, default=1)
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--json", action="store_true",
+                             help="print the report as one JSON object")
+
     counter = commands.add_parser(
         "counterexample", help="re-run the Eq. 12 census (Section 5)"
     )
@@ -562,6 +636,157 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.batcher import BatchConfig
+    from repro.serve.server import QueryServer
+
+    if (args.unix_socket is None) == (args.host is None):
+        print("error: pass exactly one of --unix-socket or --host/--port",
+              file=sys.stderr)
+        return 1
+    if args.host is not None and args.port is None:
+        print("error: --host needs --port", file=sys.stderr)
+        return 1
+    from repro.datasets.io import load_strings, load_vectors
+
+    load = load_vectors if args.kind == "vectors" else load_strings
+    try:
+        points = load(args.input)
+    except OSError as error:
+        print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
+        return 1
+    if len(points) == 0:
+        print("error: empty database", file=sys.stderr)
+        return 1
+    error = _parallel_flags_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    metric = _METRICS[args.metric]()
+    resilience_flags = (
+        args.deadline is not None
+        or args.retries is not None
+        or args.on_partial is not None
+    )
+    resident = args.resident or resilience_flags
+    sharded = args.workers is not None or args.shards is not None
+    if resident and not sharded:
+        print("error: --resident/--deadline/--retries/--on-partial need "
+              "sharded execution; add --shards (or --workers)",
+              file=sys.stderr)
+        return 1
+    if sharded:
+        from functools import partial
+
+        from repro.index import ShardedIndex
+        from repro.parallel.workerpool import QueryPolicy
+
+        n_shards = (
+            args.shards
+            if args.shards is not None
+            else max(1, args.workers or 1)
+        )
+        policy = QueryPolicy(
+            deadline=args.deadline,
+            retries=args.retries if args.retries is not None else 1,
+            on_partial=args.on_partial if args.on_partial else "raise",
+        )
+        index = ShardedIndex(
+            points,
+            metric,
+            partial(_sharded_inner, name=args.index, sites=args.sites,
+                    pivots=args.pivots, seed=args.seed),
+            n_shards=n_shards,
+            workers=args.workers,
+            resident=resident,
+            policy=policy,
+        )
+    else:
+        index = _build_search_index(args.index, points, metric, args)
+    config = BatchConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        min_wait_ms=args.min_wait_ms,
+        adaptive=not args.no_adaptive,
+        max_queue=args.max_queue,
+    )
+
+    async def _serve() -> None:
+        server = QueryServer(
+            index,
+            unix_path=args.unix_socket,
+            host=args.host,
+            port=args.port,
+            config=config,
+        )
+        await server.start()
+        server.install_signal_handlers()
+        where = (
+            args.unix_socket
+            if args.unix_socket is not None
+            else f"{args.host}:{server.bound_port}"
+        )
+        print(f"serving {args.input} ({len(points)} elements, "
+              f"{metric.name}, index {args.index}) on {where}",
+              flush=True)
+        await server.serve_until_drained()
+        print("drained; all accepted requests answered", flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.datasets.io import load_strings, load_vectors
+    from repro.serve.loadgen import run_open_loop
+
+    if (args.unix_socket is None) == (args.host is None):
+        print("error: pass exactly one of --unix-socket or --host/--port",
+              file=sys.stderr)
+        return 1
+    load = load_vectors if args.kind == "vectors" else load_strings
+    try:
+        queries = load(args.input)
+    except OSError as error:
+        print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
+        return 1
+    report = asyncio.run(run_open_loop(
+        unix_path=args.unix_socket,
+        host=args.host,
+        port=args.port,
+        queries=queries,
+        op=args.op,
+        k=args.k,
+        radius=args.radius,
+        budget=args.budget,
+        qps=args.qps,
+        duration_s=args.duration,
+        seed=args.seed,
+        connections=args.connections,
+    ))
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"offered {payload['offered_qps']:.1f} qps for "
+              f"{payload['duration_s']:.2f}s: achieved "
+              f"{payload['achieved_qps']:.1f} qps "
+              f"({payload['answered']} answered, "
+              f"{payload['rejected']} rejected, "
+              f"{payload['errored']} errored, "
+              f"{payload['degraded']} degraded)")
+        if payload["p50_s"] is not None:
+            print(f"latency: p50 {payload['p50_s'] * 1e3:.2f} ms, "
+                  f"p99 {payload['p99_s'] * 1e3:.2f} ms, "
+                  f"p999 {payload['p999_s'] * 1e3:.2f} ms")
+    return 0
+
+
 def _cmd_counterexample(args: argparse.Namespace) -> int:
     from repro.experiments.counterexample import counterexample_census
 
@@ -610,6 +835,8 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "census": _cmd_census,
     "search": _cmd_search,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
     "counterexample": _cmd_counterexample,
     "figures": _cmd_figures,
     "bound": _cmd_bound,

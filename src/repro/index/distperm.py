@@ -179,6 +179,65 @@ class DistPermIndex(Index):
         distances = self.metric.to_sites(queries, self.sites)
         return permutations_from_distances(distances)
 
+    def add_points(self, new_points: Sequence[Any]) -> None:
+        """Append elements to the index without a full rebuild.
+
+        Online inserts are cheap for this structure because the sites
+        are fixed at build time: a new element costs exactly its
+        ``n_sites`` site distances (charged to ``build_distances``,
+        like the original build), one Lehmer encoding, and a row in the
+        rank-position cache.  The realized-permutation table grows by
+        set union with the new codes and the per-element ids are
+        remapped by binary search, so every attribute — codes, table,
+        ids, positions — lands byte-identical to a fresh build of the
+        combined database over the same site set.
+
+        The site draw itself is **not** revisited: a growing database
+        keeps the permutation space of its original sites, which is the
+        trade inserts make against census fidelity (a fresh build could
+        draw sites from the new elements too).
+        """
+        if len(new_points) == 0:
+            return
+        query_count = self.metric.count
+        distances = self.metric.to_sites(new_points, self.sites)
+        new_perms = permutations_from_distances(distances)
+        new_codes = encode_permutations(new_perms)
+        if isinstance(self.points, np.ndarray):
+            matrix = np.asarray(new_points, dtype=self.points.dtype)
+            if matrix.ndim == 1:
+                matrix = matrix.reshape(1, -1)
+            if matrix.shape[1] != self.points.shape[1]:
+                raise ValueError(
+                    f"new points have dimension {matrix.shape[1]}, "
+                    f"index has {self.points.shape[1]}"
+                )
+            self.points = np.concatenate([self.points, matrix])
+        else:
+            self.points = list(self.points) + list(new_points)
+        self.codes = np.concatenate([self.codes, new_codes])
+        # Table = union of realized codes; np.unique's inverse on a full
+        # rebuild is exactly searchsorted against the sorted uniques, so
+        # remapping old ids this way reproduces the fresh build bit for
+        # bit.
+        self.table_codes = np.unique(
+            np.concatenate([self.table_codes, new_codes])
+        )
+        self.ids = np.searchsorted(self.table_codes, self.codes)
+        self.table = decode_permutations(self.table_codes, self.n_sites)
+        self._perm_positions = np.concatenate([
+            self._perm_positions,
+            permutation_positions(new_perms).astype(
+                self._perm_positions.dtype, copy=False
+            ),
+        ])
+        self._footrule_workspace = {}
+        # The site evaluations are construction work: move them from the
+        # query account to the build account, as __init__ does.
+        delta = self.metric.count - query_count
+        self.metric.count = query_count
+        self.stats.build_distances += delta
+
     def unique_permutations(self) -> int:
         """The census of Tables 2–3: ``|{Π_y : y in database}|``."""
         return int(self.table.shape[0])

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import math
 import pickle
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -208,6 +209,10 @@ class ShardedIndex(Index):
     ):
         if n_shards < 1:
             raise ValueError(f"need n_shards >= 1, got {n_shards}")
+        # First, before anything can fail: close() may run on any
+        # partially-built state, and under the query service it can be
+        # reached from the drain path and teardown concurrently.
+        self._close_lock = threading.Lock()
         self._inner_factory = inner_factory
         self._requested_shards = n_shards
         self._init_runtime(workers, resident, policy, faults, budget_split)
@@ -738,24 +743,45 @@ class ShardedIndex(Index):
         mid-build calls this before re-raising, at which point any
         subset of the runtime attributes may exist — hence the
         ``getattr`` reads rather than attribute access.
+
+        Re-entrant by construction: every resource is detached from the
+        instance before it is released (a second close sees ``None``),
+        calls are serialized by a lock (the query service's drain path
+        closes from the event-loop thread while test teardown or
+        ``__del__`` may close from another), and each stage runs under
+        ``try/finally`` — a worker pool that fails to shut down cannot
+        leave shared-memory segments stranded behind it.
         """
-        pool = getattr(self, "_worker_pool", None)
-        if pool is not None:
+        lock = getattr(self, "_close_lock", None)
+        if lock is not None:
+            lock.acquire()
+        try:
+            pool = getattr(self, "_worker_pool", None)
+            payloads = getattr(self, "_query_payloads", None)
+            points_payload = getattr(self, "_points_payload", None)
+            executor = getattr(self, "_executor", None)
             self._worker_pool = None
-            pool.close()
-        payloads = getattr(self, "_query_payloads", None)
-        if payloads is not None:
             self._query_payloads = None
-            for payload in payloads:
-                payload.unlink()
-        points_payload = getattr(self, "_points_payload", None)
-        if points_payload is not None:
             self._points_payload = None
-            points_payload.unlink()
-        executor = getattr(self, "_executor", None)
-        if executor is not None:
             self._executor = None
-            executor.close()
+            try:
+                if pool is not None:
+                    pool.close()
+            finally:
+                try:
+                    if payloads is not None:
+                        for payload in payloads:
+                            payload.unlink()
+                finally:
+                    try:
+                        if points_payload is not None:
+                            points_payload.unlink()
+                    finally:
+                        if executor is not None:
+                            executor.close()
+        finally:
+            if lock is not None:
+                lock.release()
 
     def __enter__(self) -> "ShardedIndex":
         return self

@@ -1,0 +1,390 @@
+"""Clients for the query service: async multiplexing + a sync wrapper.
+
+:class:`AsyncClient` holds one connection and multiplexes any number of
+in-flight requests over it: a background reader task decodes response
+frames and routes each to its caller's future by the echoed request id,
+so ``await client.knn(...)`` calls from many tasks interleave freely on
+a single socket.  Answers come back as :class:`ServeResult` — the raw
+:class:`~repro.index.base.NeighborArrays` columns straight off the
+wire (no per-row list materialization) plus the *degraded* flag.
+
+Backpressure is a first-class outcome, not an exception to hide: a
+``REJECTED`` response raises :class:`ServerBusyError` carrying the
+server's ``retry_after`` hint.  Pass ``retries=`` to the query methods
+to have the client sleep that hint and retry automatically.
+
+:class:`SyncClient` wraps the same protocol for synchronous callers
+(benchmark drivers, the CI smoke probe, shells) with one blocking
+request at a time on a plain socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+import struct
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.index.base import NeighborArrays
+from repro.serve import protocol
+
+__all__ = [
+    "ServeResult",
+    "Pong",
+    "ServerBusyError",
+    "ServerError",
+    "AsyncClient",
+    "SyncClient",
+]
+
+Queries = Union[np.ndarray, Sequence[str]]
+
+
+class ServerBusyError(ConnectionError):
+    """The server's admission queue is full (a 429 with a hint)."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"server busy; retry after {retry_after:.4f}s"
+        )
+        self.retry_after = retry_after
+
+
+class ServerError(RuntimeError):
+    """The server answered ``ERROR`` (bad request or engine failure)."""
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One answered query op: the result columns + the degraded flag."""
+
+    rows: NeighborArrays
+    degraded: bool
+
+
+@dataclass(frozen=True)
+class Pong:
+    """A health-probe reply."""
+
+    pid: int
+    draining: bool
+
+
+def _encode_payload(queries: Queries):
+    """Split a query set into (wire arrays, payload kind)."""
+    if isinstance(queries, np.ndarray):
+        return (protocol.encode_vector_queries(queries),), protocol.KIND_VECTORS
+    if isinstance(queries, (list, tuple)) and (
+        not queries or isinstance(queries[0], str)
+    ):
+        return protocol.encode_string_queries(queries), protocol.KIND_STRINGS
+    return (protocol.encode_vector_queries(queries),), protocol.KIND_VECTORS
+
+
+def _result(response: protocol.Response) -> ServeResult:
+    """Turn a decoded response into a result, or raise its failure."""
+    if response.status == protocol.STATUS_OK:
+        distances, indices, offsets = response.arrays
+        return ServeResult(
+            rows=NeighborArrays(distances, indices, offsets),
+            degraded=response.degraded,
+        )
+    if response.status == protocol.STATUS_REJECTED:
+        raise ServerBusyError(response.retry_after)
+    if response.status == protocol.STATUS_ERROR:
+        raise ServerError(response.message)
+    raise protocol.ProtocolError(
+        f"unexpected response status {response.status}"
+    )
+
+
+class AsyncClient:
+    """One connection, many in-flight requests, routed by request id."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls,
+        *,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> "AsyncClient":
+        if (unix_path is None) == (host is None):
+            raise ValueError("pass exactly one of unix_path or host/port")
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(unix_path)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("client closed"))
+        self._pending.clear()
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # The multiplexer.
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = await self._reader.readexactly(4)
+                length = protocol.frame_length(header)
+                payload = await self._reader.readexactly(length)
+                response = protocol.decode_response(payload)
+                future = self._pending.pop(response.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                OSError, protocol.ProtocolError) as error:
+            # Connection gone: fail every waiter rather than hanging.
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError(f"connection lost: {error!r}")
+                    )
+            self._pending.clear()
+
+    async def _roundtrip(self, frame: bytes, request_id: int):
+        future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _query(
+        self,
+        op: int,
+        queries: Queries,
+        *,
+        k: int = 0,
+        radius: float = 0.0,
+        budget: Optional[int] = None,
+        retries: int = 0,
+    ) -> ServeResult:
+        arrays, kind = _encode_payload(queries)
+        attempt = 0
+        while True:
+            request_id = next(self._ids)
+            frame = protocol.encode_request(
+                op, request_id, k=k, radius=radius, budget=budget,
+                queries=arrays, kind=kind,
+            )
+            try:
+                return _result(await self._roundtrip(frame, request_id))
+            except ServerBusyError as busy:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                await asyncio.sleep(max(busy.retry_after, 0.001))
+
+    # ------------------------------------------------------------------
+    # Public ops.
+    # ------------------------------------------------------------------
+
+    async def knn(
+        self, queries: Queries, k: int, *, retries: int = 0
+    ) -> ServeResult:
+        return await self._query(
+            protocol.OP_KNN, queries, k=k, retries=retries
+        )
+
+    async def range_search(
+        self, queries: Queries, radius: float, *, retries: int = 0
+    ) -> ServeResult:
+        return await self._query(
+            protocol.OP_RANGE, queries, radius=radius, retries=retries
+        )
+
+    async def knn_approx(
+        self,
+        queries: Queries,
+        k: int,
+        *,
+        budget: Optional[int] = None,
+        retries: int = 0,
+    ) -> ServeResult:
+        return await self._query(
+            protocol.OP_KNN_APPROX, queries, k=k, budget=budget,
+            retries=retries,
+        )
+
+    async def ping(self) -> Pong:
+        request_id = next(self._ids)
+        frame = protocol.encode_request(protocol.OP_PING, request_id)
+        response = await self._roundtrip(frame, request_id)
+        if response.status != protocol.STATUS_PONG:
+            raise protocol.ProtocolError(
+                f"expected PONG, got status {response.status}"
+            )
+        return Pong(pid=response.pid, draining=response.draining)
+
+    async def stats(self) -> dict:
+        request_id = next(self._ids)
+        frame = protocol.encode_request(protocol.OP_STATS, request_id)
+        response = await self._roundtrip(frame, request_id)
+        if response.status != protocol.STATUS_STATS:
+            raise protocol.ProtocolError(
+                f"expected STATS, got status {response.status}"
+            )
+        return json.loads(response.message)
+
+
+class SyncClient:
+    """Blocking one-request-at-a-time client on a plain socket."""
+
+    def __init__(
+        self,
+        *,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 30.0,
+    ):
+        if (unix_path is None) == (host is None):
+            raise ValueError("pass exactly one of unix_path or host/port")
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SyncClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _roundtrip(self, frame: bytes) -> protocol.Response:
+        self._sock.sendall(frame)
+        (length,) = struct.unpack("<I", self._recv_exactly(4))
+        if length > protocol.MAX_FRAME_BYTES:
+            raise protocol.ProtocolError(f"oversized response frame {length}")
+        return protocol.decode_response(self._recv_exactly(length))
+
+    def _query(
+        self,
+        op: int,
+        queries: Queries,
+        *,
+        k: int = 0,
+        radius: float = 0.0,
+        budget: Optional[int] = None,
+        retries: int = 0,
+    ) -> ServeResult:
+        arrays, kind = _encode_payload(queries)
+        attempt = 0
+        while True:
+            frame = protocol.encode_request(
+                op, next(self._ids), k=k, radius=radius, budget=budget,
+                queries=arrays, kind=kind,
+            )
+            try:
+                return _result(self._roundtrip(frame))
+            except ServerBusyError as busy:
+                if attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(max(busy.retry_after, 0.001))
+
+    def knn(self, queries: Queries, k: int, *, retries: int = 0) -> ServeResult:
+        return self._query(protocol.OP_KNN, queries, k=k, retries=retries)
+
+    def range_search(
+        self, queries: Queries, radius: float, *, retries: int = 0
+    ) -> ServeResult:
+        return self._query(
+            protocol.OP_RANGE, queries, radius=radius, retries=retries
+        )
+
+    def knn_approx(
+        self,
+        queries: Queries,
+        k: int,
+        *,
+        budget: Optional[int] = None,
+        retries: int = 0,
+    ) -> ServeResult:
+        return self._query(
+            protocol.OP_KNN_APPROX, queries, k=k, budget=budget,
+            retries=retries,
+        )
+
+    def ping(self) -> Pong:
+        frame = protocol.encode_request(protocol.OP_PING, next(self._ids))
+        response = self._roundtrip(frame)
+        if response.status != protocol.STATUS_PONG:
+            raise protocol.ProtocolError(
+                f"expected PONG, got status {response.status}"
+            )
+        return Pong(pid=response.pid, draining=response.draining)
+
+    def stats(self) -> dict:
+        frame = protocol.encode_request(protocol.OP_STATS, next(self._ids))
+        response = self._roundtrip(frame)
+        if response.status != protocol.STATUS_STATS:
+            raise protocol.ProtocolError(
+                f"expected STATS, got status {response.status}"
+            )
+        return json.loads(response.message)

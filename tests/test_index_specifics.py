@@ -222,3 +222,90 @@ class TestDistPermIndex:
     def test_rejects_zero_sites(self, database):
         with pytest.raises(ValueError):
             DistPermIndex(database, EuclideanDistance(), n_sites=0)
+
+
+class TestDistPermAddPoints:
+    """Incremental append must equal a fresh build over the same sites."""
+
+    def _assert_equivalent(self, grown, fresh):
+        np.testing.assert_array_equal(grown.codes, fresh.codes)
+        np.testing.assert_array_equal(grown.table_codes, fresh.table_codes)
+        np.testing.assert_array_equal(grown.ids, fresh.ids)
+        np.testing.assert_array_equal(grown.table, fresh.table)
+        np.testing.assert_array_equal(
+            grown._perm_positions, fresh._perm_positions
+        )
+        assert grown._perm_positions.dtype == fresh._perm_positions.dtype
+
+    def test_vectors_match_fresh_build(self, database):
+        old, new = database[:300], database[300:]
+        index = DistPermIndex(old, EuclideanDistance(), n_sites=6,
+                              rng=np.random.default_rng(21))
+        index.add_points(new)
+        fresh = DistPermIndex(database, EuclideanDistance(),
+                              site_indices=index.site_indices)
+        assert len(index.points) == len(database)
+        self._assert_equivalent(index, fresh)
+
+    def test_strings_match_fresh_build(self):
+        rng = np.random.default_rng(22)
+        words = [
+            "".join("abcd"[i] for i in rng.integers(0, 4, size=5))
+            for _ in range(150)
+        ]
+        from repro.metrics import LevenshteinDistance
+
+        index = DistPermIndex(words[:100], LevenshteinDistance(), n_sites=4,
+                              rng=np.random.default_rng(23))
+        index.add_points(words[100:])
+        fresh = DistPermIndex(words, LevenshteinDistance(),
+                              site_indices=index.site_indices)
+        self._assert_equivalent(index, fresh)
+
+    def test_queries_match_fresh_build(self, database, queries):
+        index = DistPermIndex(database[:350], EuclideanDistance(), n_sites=6,
+                              rng=np.random.default_rng(24))
+        index.add_points(database[350:])
+        fresh = DistPermIndex(database, EuclideanDistance(),
+                              site_indices=index.site_indices)
+        grown_rows = index.knn_approx_batch_arrays(queries, 5, budget=60)
+        fresh_rows = fresh.knn_approx_batch_arrays(queries, 5, budget=60)
+        np.testing.assert_array_equal(grown_rows.distances,
+                                      fresh_rows.distances)
+        np.testing.assert_array_equal(grown_rows.indices, fresh_rows.indices)
+        np.testing.assert_array_equal(grown_rows.offsets, fresh_rows.offsets)
+        # New elements are actually findable: query one exactly.
+        hit = index.knn_query(database[-1], 1)
+        assert hit[0].index == len(database) - 1
+        assert hit[0].distance == 0.0
+
+    def test_census_tracks_growth(self, database):
+        index = DistPermIndex(database[:200], EuclideanDistance(), n_sites=6,
+                              rng=np.random.default_rng(25))
+        index.add_points(database[200:])
+        fresh = DistPermIndex(database, EuclideanDistance(),
+                              site_indices=index.site_indices)
+        assert index.unique_permutations() == fresh.unique_permutations()
+
+    def test_insert_cost_charged_to_build(self, database):
+        index = DistPermIndex(database[:300], EuclideanDistance(), n_sites=6,
+                              rng=np.random.default_rng(26))
+        build_before = index.stats.build_distances
+        index.add_points(database[300:])
+        added = len(database) - 300
+        assert (index.stats.build_distances
+                == build_before + added * index.n_sites)
+        assert index.metric.count == 0  # queries are not polluted
+
+    def test_empty_append_is_noop(self, database):
+        index = DistPermIndex(database, EuclideanDistance(), n_sites=6,
+                              rng=np.random.default_rng(27))
+        codes = index.codes.copy()
+        index.add_points(database[:0])
+        np.testing.assert_array_equal(index.codes, codes)
+
+    def test_dimension_mismatch_rejected(self, database):
+        index = DistPermIndex(database, EuclideanDistance(), n_sites=6,
+                              rng=np.random.default_rng(28))
+        with pytest.raises(ValueError):
+            index.add_points(np.zeros((2, database.shape[1] + 1)))

@@ -1,0 +1,806 @@
+"""The serving layer: wire protocol, micro-batcher, end-to-end server.
+
+The acceptance contract of ISSUE 9: answers served through the
+micro-batching socket server are identical to the serial batch API —
+byte-identical for discrete (string) metrics, exact indices with
+last-ulp distance agreement for float metrics, where the batch kernels
+are documented not to be bitwise invariant to batch width — under any
+interleaving of concurrent clients; admission past the queue bound is
+an explicit REJECTED with a retry hint, never latency collapse; a
+graceful drain answers every accepted request; and injected worker
+kills under ``on_partial="degrade"`` surface as the response's
+degraded flag, not as corruption.
+
+Async paths run through ``asyncio.run`` inside ordinary sync tests —
+the suite has no async plugin and does not need one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import struct
+import subprocess
+import time
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+import pytest
+
+from repro.index import DistPermIndex, LinearScan, ShardedIndex, VPTree
+from repro.metrics import EuclideanDistance, LevenshteinDistance
+from repro.parallel.faults import FaultSpec
+from repro.parallel.workerpool import QueryPolicy
+from repro.serve import protocol
+from repro.serve.batcher import BatchConfig, MicroBatcher, RejectedError
+from repro.serve.client import (
+    AsyncClient,
+    ServerBusyError,
+    ServerError,
+    SyncClient,
+)
+from repro.serve.server import QueryServer, serve_in_thread
+
+# ----------------------------------------------------------------------
+# Shared fixtures and helpers.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return np.random.default_rng(90801).random((400, 4))
+
+
+@pytest.fixture(scope="module")
+def vec_queries():
+    return np.random.default_rng(90802).random((24, 4))
+
+
+@pytest.fixture(scope="module")
+def words():
+    rng = np.random.default_rng(90803)
+    return [
+        "".join("abcd"[i] for i in rng.integers(0, 4, size=rng.integers(2, 7)))
+        for _ in range(150)
+    ]
+
+
+@pytest.fixture
+def sock(tmp_path):
+    return str(tmp_path / "serve.sock")
+
+
+def _repro_segments():
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("repro-")}
+    except OSError:  # pragma: no cover - non-tmpfs platforms
+        return set()
+
+
+def _live_children():
+    return [p for p in multiprocessing.active_children() if p.is_alive()]
+
+
+@pytest.fixture
+def leak_check():
+    """Fail the test if it leaks worker processes or shm segments."""
+    segments = _repro_segments()
+    children = {p.pid for p in _live_children()}
+    yield
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [p for p in _live_children() if p.pid not in children]
+        if not leaked and not (_repro_segments() - segments):
+            break
+        time.sleep(0.05)
+    assert not [p for p in _live_children() if p.pid not in children]
+    assert _repro_segments() <= segments
+
+
+def assert_rows_equal(got, want, *, exact=True):
+    """Columns identical; ``exact=False`` allows last-ulp distance slack.
+
+    The float batch kernels are not bitwise invariant to batch width
+    (documented last-ulp caveat), so answers that crossed a coalesced
+    window compare with ``nulp`` slack on distances — indices, offsets,
+    and shapes stay strictly equal either way.
+    """
+    np.testing.assert_array_equal(got.offsets, want.offsets)
+    np.testing.assert_array_equal(got.indices, want.indices)
+    if exact:
+        assert got.distances.tobytes() == want.distances.tobytes()
+    else:
+        np.testing.assert_array_almost_equal_nulp(
+            got.distances, want.distances, nulp=4
+        )
+    assert got.distances.dtype == want.distances.dtype
+    assert got.indices.dtype == want.indices.dtype
+    assert got.offsets.dtype == want.offsets.dtype
+
+
+# ----------------------------------------------------------------------
+# Wire protocol.
+# ----------------------------------------------------------------------
+
+
+def _payload(frame: bytes) -> bytes:
+    """Strip a frame's length prefix, checking it for consistency."""
+    assert protocol.frame_length(frame[:4]) == len(frame) - 4
+    return frame[4:]
+
+
+class TestProtocol:
+    def test_knn_request_roundtrip(self, vec_queries):
+        frame = protocol.encode_request(
+            protocol.OP_KNN, 7, k=5,
+            queries=(protocol.encode_vector_queries(vec_queries),),
+            kind=protocol.KIND_VECTORS,
+        )
+        request = protocol.decode_request(_payload(frame))
+        assert request.op == protocol.OP_KNN
+        assert request.request_id == 7
+        assert request.k == 5
+        assert request.budget is None
+        assert request.kind == protocol.KIND_VECTORS
+        assert request.queries.dtype == np.float64
+        np.testing.assert_array_equal(request.queries, vec_queries)
+
+    def test_range_request_roundtrip(self, vec_queries):
+        frame = protocol.encode_request(
+            protocol.OP_RANGE, 9, radius=0.25,
+            queries=(protocol.encode_vector_queries(vec_queries[:1]),),
+            kind=protocol.KIND_VECTORS,
+        )
+        request = protocol.decode_request(_payload(frame))
+        assert request.op == protocol.OP_RANGE
+        assert request.radius == 0.25
+        assert request.n_queries == 1
+
+    def test_string_knn_approx_roundtrip(self, words):
+        frame = protocol.encode_request(
+            protocol.OP_KNN_APPROX, 3, k=4, budget=60,
+            queries=protocol.encode_string_queries(words[:6]),
+            kind=protocol.KIND_STRINGS,
+        )
+        request = protocol.decode_request(_payload(frame))
+        assert request.op == protocol.OP_KNN_APPROX
+        assert request.k == 4
+        assert request.budget == 60
+        assert request.kind == protocol.KIND_STRINGS
+        assert request.queries == words[:6]
+
+    def test_ping_and_stats_requests_carry_no_payload(self):
+        for op in (protocol.OP_PING, protocol.OP_STATS):
+            request = protocol.decode_request(
+                _payload(protocol.encode_request(op, 1))
+            )
+            assert request.op == op
+            assert request.queries is None
+            assert request.n_queries == 0
+
+    def test_ok_response_roundtrip_preserves_columns(self):
+        distances = np.array([0.5, 1.5, 2.5])
+        indices = np.array([3, 1, 2], dtype=np.int64)
+        offsets = np.array([0, 2, 3], dtype=np.int64)
+        frame = protocol.encode_response(
+            11, protocol.STATUS_OK, flags=protocol.FLAG_DEGRADED,
+            arrays=(distances, indices, offsets),
+        )
+        response = protocol.decode_response(_payload(frame))
+        assert response.status == protocol.STATUS_OK
+        assert response.request_id == 11
+        assert response.degraded
+        got_d, got_i, got_o = response.arrays
+        assert got_d.tobytes() == distances.tobytes()
+        assert got_i.tobytes() == indices.tobytes()
+        assert got_o.tobytes() == offsets.tobytes()
+
+    def test_rejected_response_carries_retry_after(self):
+        frame = protocol.encode_response(
+            5, protocol.STATUS_REJECTED, retry_after=0.125
+        )
+        response = protocol.decode_response(_payload(frame))
+        assert response.status == protocol.STATUS_REJECTED
+        assert response.retry_after == 0.125
+        assert not response.degraded
+
+    def test_error_and_pong_roundtrip(self):
+        error = protocol.decode_response(_payload(
+            protocol.encode_response(
+                2, protocol.STATUS_ERROR, message="k must be >= 1"
+            )
+        ))
+        assert error.message == "k must be >= 1"
+        pong = protocol.decode_response(_payload(
+            protocol.encode_response(
+                4, protocol.STATUS_PONG, pid=4242, draining=True
+            )
+        ))
+        assert pong.pid == 4242
+        assert pong.draining
+
+    def test_truncated_payloads_raise(self, vec_queries):
+        frame = protocol.encode_request(
+            protocol.OP_KNN, 7, k=5,
+            queries=(protocol.encode_vector_queries(vec_queries),),
+            kind=protocol.KIND_VECTORS,
+        )
+        whole = _payload(frame)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_request(whole[:3])  # inside the head
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_request(whole[:-8])  # inside the array bytes
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_response(b"\x00")
+
+    def test_unknown_op_and_status_raise(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_request(99, 1)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_request(struct.pack("<BQ", 42, 1))
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_response(struct.pack("<QBB", 1, 99, 0))
+
+    def test_oversized_length_prefix_rejected(self):
+        header = struct.pack("<I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.frame_length(header)
+
+
+# ----------------------------------------------------------------------
+# Micro-batcher scheduling (unit level, direct submit).
+# ----------------------------------------------------------------------
+
+
+def _run_batcher(index, config, body):
+    """Start a batcher inside a fresh loop, run ``body``, always drain."""
+
+    async def _main():
+        batcher = MicroBatcher(index, config=config)
+        batcher.start()
+        try:
+            return await body(batcher)
+        finally:
+            await batcher.drain()
+
+    return asyncio.run(_main())
+
+
+class TestMicroBatcher:
+    def test_concurrent_knn_coalesce_into_one_engine_call(
+        self, vectors, vec_queries
+    ):
+        """Mixed-k requests share one engine call at the window's max k,
+        and each trimmed answer matches its own serial call."""
+        index = LinearScan(vectors, EuclideanDistance())
+        ks = (1, 3, 7, 2)
+        parts = [vec_queries[i * 4:(i + 1) * 4] for i in range(len(ks))]
+        config = BatchConfig(
+            max_batch=sum(len(p) for p in parts), max_wait_ms=500.0
+        )
+
+        async def body(batcher):
+            return await asyncio.gather(*(
+                batcher.submit("knn", part, k=k)
+                for part, k in zip(parts, ks)
+            ))
+
+        answers = _run_batcher(index, config, body)
+        assert index.stats.queries == sum(len(p) for p in parts)
+        for (rows, degraded), part, k in zip(answers, parts, ks):
+            assert not degraded
+            assert_rows_equal(
+                rows, index.knn_batch_arrays(part, k), exact=False
+            )
+
+    def test_range_radii_coalesce_and_filter(self, vectors, vec_queries):
+        index = VPTree(vectors, EuclideanDistance(),
+                       rng=np.random.default_rng(1))
+        radii = (0.1, 0.45)
+        parts = (vec_queries[:5], vec_queries[5:12])
+        config = BatchConfig(max_batch=12, max_wait_ms=500.0)
+
+        async def body(batcher):
+            return await asyncio.gather(*(
+                batcher.submit("range", part, radius=radius)
+                for part, radius in zip(parts, radii)
+            ))
+
+        answers = _run_batcher(index, config, body)
+        for (rows, _), part, radius in zip(answers, parts, radii):
+            assert_rows_equal(
+                rows, index.range_batch_arrays(part, radius), exact=False
+            )
+
+    def test_knn_approx_groups_by_budget(self, vectors, vec_queries):
+        """Different budgets must not share an engine call: the budget
+        clamp shapes the candidate set, so each group answers exactly."""
+        index = DistPermIndex(vectors, EuclideanDistance(), n_sites=6,
+                              rng=np.random.default_rng(2))
+        config = BatchConfig(max_batch=8, max_wait_ms=500.0)
+
+        async def body(batcher):
+            results = await asyncio.gather(
+                batcher.submit(
+                    "knn-approx", vec_queries[:4], k=3, budget=40
+                ),
+                batcher.submit(
+                    "knn-approx", vec_queries[4:8], k=3, budget=200
+                ),
+            )
+            return results, batcher.stats.batches_executed
+
+        (answers, batches) = _run_batcher(index, config, body)
+        assert batches == 2  # one engine call per (k, budget) group
+        for (rows, _), part, budget in zip(
+            answers, (vec_queries[:4], vec_queries[4:8]), (40, 200)
+        ):
+            # Sole member of its group: the identical engine call.
+            assert_rows_equal(
+                rows,
+                index.knn_approx_batch_arrays(part, 3, budget=budget),
+                exact=True,
+            )
+
+    def test_adaptive_window_shrinks_then_recovers(self, vectors):
+        """A window filled early halves; a sparse expiry doubles back."""
+        index = LinearScan(vectors, EuclideanDistance())
+        config = BatchConfig(
+            max_batch=4, max_wait_ms=40.0, min_wait_ms=0.5, adaptive=True
+        )
+        queries = vectors[:4]
+
+        async def body(batcher):
+            await batcher.submit("knn", queries, k=1)  # fills the window
+            shrunk = batcher.stats.current_window_s
+            await batcher.submit("knn", queries[:1], k=1)  # sparse expiry
+            return shrunk, batcher.stats.current_window_s
+
+        shrunk, recovered = _run_batcher(index, config, body)
+        assert shrunk == pytest.approx(0.020)
+        assert recovered == pytest.approx(0.040)
+
+    def test_fixed_window_does_not_adapt(self, vectors):
+        index = LinearScan(vectors, EuclideanDistance())
+        config = BatchConfig(max_batch=2, max_wait_ms=5.0, adaptive=False)
+
+        async def body(batcher):
+            await batcher.submit("knn", vectors[:2], k=1)
+            return batcher.stats.current_window_s
+
+        assert _run_batcher(index, config, body) == pytest.approx(0.005)
+
+    def test_admission_bound_rejects_with_retry_after(self, vectors):
+        index = LinearScan(vectors, EuclideanDistance())
+        config = BatchConfig(max_batch=100, max_wait_ms=500.0, max_queue=4)
+
+        async def body(batcher):
+            first = asyncio.ensure_future(
+                batcher.submit("knn", vectors[:4], k=1)
+            )
+            await asyncio.sleep(0)  # let the first request be admitted
+            with pytest.raises(RejectedError) as rejection:
+                await batcher.submit("knn", vectors[:1], k=1)
+            assert rejection.value.retry_after > 0
+            assert batcher.stats.requests_rejected == 1
+            await batcher.drain()  # flush the held window now
+            return await first
+
+        rows, _ = _run_batcher(index, config, body)
+        assert rows.n_queries == 4
+
+    def test_drain_answers_accepted_then_rejects_new(self, vectors):
+        index = LinearScan(vectors, EuclideanDistance())
+        config = BatchConfig(max_batch=100, max_wait_ms=500.0)
+
+        async def body(batcher):
+            held = [
+                asyncio.ensure_future(batcher.submit("knn", vectors[:2], k=2))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            await batcher.drain()
+            answers = await asyncio.gather(*held)
+            with pytest.raises(RejectedError):
+                await batcher.submit("knn", vectors[:1], k=1)
+            return answers
+
+        answers = _run_batcher(index, config, body)
+        want = index.knn_batch_arrays(vectors[:2], 2)
+        for rows, degraded in answers:
+            assert not degraded
+            assert_rows_equal(rows, want, exact=False)
+
+    def test_empty_submit_short_circuits(self, vectors):
+        index = LinearScan(vectors, EuclideanDistance())
+
+        async def body(batcher):
+            rows, degraded = await batcher.submit("knn", vectors[:0], k=3)
+            assert batcher.stats.requests_admitted == 0
+            return rows, degraded
+
+        rows, degraded = _run_batcher(index, BatchConfig(), body)
+        assert rows.n_queries == 0
+        assert not degraded
+
+    def test_engine_exception_reaches_only_the_caller(self, vectors):
+        index = LinearScan(vectors, EuclideanDistance())
+
+        async def body(batcher):
+            with pytest.raises(ValueError):
+                await batcher.submit("knn", vectors[:2], k=-1)
+            # The batcher survives the poisoned call.
+            return await batcher.submit("knn", vectors[:2], k=1)
+
+        rows, _ = _run_batcher(index, BatchConfig(max_wait_ms=1.0), body)
+        assert rows.n_queries == 2
+
+    def test_unknown_op_and_unstarted_batcher_raise(self, vectors):
+        index = LinearScan(vectors, EuclideanDistance())
+        batcher = MicroBatcher(index)
+
+        async def main():
+            with pytest.raises(RuntimeError):
+                await batcher.submit("knn", vectors[:1], k=1)
+            batcher.start()
+            try:
+                with pytest.raises(ValueError):
+                    await batcher.submit("median", vectors[:1], k=1)
+            finally:
+                await batcher.drain()
+
+        asyncio.run(main())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BatchConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchConfig(min_wait_ms=3.0, max_wait_ms=1.0)
+        with pytest.raises(ValueError):
+            BatchConfig(max_queue=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: server + clients over a unix socket.
+# ----------------------------------------------------------------------
+
+
+class TestServerEndToEnd:
+    def test_sync_client_answers_byte_identical_solo(
+        self, vectors, vec_queries, sock
+    ):
+        """A request alone in its window is the identical engine call."""
+        index = LinearScan(vectors, EuclideanDistance())
+        with serve_in_thread(index, unix_path=sock, close_index=False):
+            with SyncClient(unix_path=sock) as client:
+                knn = client.knn(vec_queries, 5)
+                rng = client.range_search(vec_queries, 0.3)
+        assert not knn.degraded
+        assert_rows_equal(
+            knn.rows, index.knn_batch_arrays(vec_queries, 5), exact=True
+        )
+        assert_rows_equal(
+            rng.rows, index.range_batch_arrays(vec_queries, 0.3), exact=True
+        )
+
+    def test_ping_stats_and_tcp_listener(self, vectors):
+        index = LinearScan(vectors, EuclideanDistance())
+        with serve_in_thread(
+            index, host="127.0.0.1", port=0, close_index=False
+        ) as handle:
+            assert handle.port
+            with SyncClient(host="127.0.0.1", port=handle.port) as client:
+                pong = client.ping()
+                assert pong.pid == os.getpid()
+                assert not pong.draining
+                client.knn(vectors[:3], k=2)
+                stats = client.stats()
+        assert stats["requests_answered"] >= 1
+        assert stats["queries_answered"] >= 3
+        assert stats["batches_executed"] >= 1
+        assert "latency" in stats
+
+    def test_bad_requests_answer_error_not_silence(
+        self, vectors, words, sock
+    ):
+        index = LinearScan(vectors, EuclideanDistance())
+        with serve_in_thread(index, unix_path=sock, close_index=False):
+            with SyncClient(unix_path=sock) as client:
+                with pytest.raises(ServerError, match="k must be >= 1"):
+                    client.knn(vectors[:1], 0)
+                with pytest.raises(ServerError, match="radius"):
+                    client.range_search(vectors[:1], -1.0)
+                with pytest.raises(ServerError, match="kind"):
+                    client.knn(words[:2], 1)  # strings at a vector server
+                with pytest.raises(ServerError, match="dimension"):
+                    client.knn(np.zeros((1, 7)), 1)
+                # The connection survives every rejected request.
+                assert client.knn(vectors[:1], 1).rows.n_queries == 1
+
+    def test_concurrent_async_clients_match_serial_batches(
+        self, vectors, vec_queries, sock
+    ):
+        """The property test: many clients, mixed ops, interleaved
+        windows — every answer equals its serial batch-API result."""
+        index = LinearScan(vectors, EuclideanDistance())
+        n_clients, per_client = 6, 6
+
+        def plan(c, i):
+            part = vec_queries[(c + 2 * i) % 18:(c + 2 * i) % 18 + 3]
+            op = (c + i) % 3
+            if op == 0:
+                return ("knn", part, {"k": 1 + (i % 5)})
+            if op == 1:
+                return (
+                    "range_search", part, {"radius": 0.15 + 0.1 * (i % 4)}
+                )
+            return ("knn_approx", part, {"k": 3, "budget": 50 + 25 * i})
+
+        async def one_client(c):
+            async with await AsyncClient.connect(unix_path=sock) as client:
+                tasks = []
+                for i in range(per_client):
+                    op, part, kwargs = plan(c, i)
+                    tasks.append(getattr(client, op)(part, **kwargs))
+                return await asyncio.gather(*tasks)
+
+        async def main():
+            return await asyncio.gather(
+                *(one_client(c) for c in range(n_clients))
+            )
+
+        config = BatchConfig(max_batch=16, max_wait_ms=2.0)
+        with serve_in_thread(
+            index, unix_path=sock, config=config, close_index=False
+        ):
+            answers = asyncio.run(main())
+
+        serial = {
+            "knn": lambda q, k: index.knn_batch_arrays(q, k),
+            "range_search": lambda q, radius: (
+                index.range_batch_arrays(q, radius)
+            ),
+            "knn_approx": lambda q, k, budget: (
+                index.knn_approx_batch_arrays(q, k, budget=budget)
+            ),
+        }
+        for c in range(n_clients):
+            for i in range(per_client):
+                op, part, kwargs = plan(c, i)
+                result = answers[c][i]
+                assert not result.degraded
+                assert_rows_equal(
+                    result.rows, serial[op](part, **kwargs), exact=False
+                )
+
+    def test_backpressure_rejects_overflow_explicitly(self, vectors, sock):
+        """Past ``max_queue`` the server answers REJECTED with a
+        retry-after hint; admitted requests still answer."""
+        index = LinearScan(vectors, EuclideanDistance())
+        config = BatchConfig(
+            max_batch=64, max_wait_ms=300.0, adaptive=False, max_queue=2
+        )
+
+        async def main():
+            async with await AsyncClient.connect(unix_path=sock) as client:
+                tasks = [
+                    asyncio.ensure_future(client.knn(vectors[i:i + 1], 2))
+                    for i in range(6)
+                ]
+                return await asyncio.gather(*tasks, return_exceptions=True)
+
+        with serve_in_thread(
+            index, unix_path=sock, config=config, close_index=False
+        ) as handle:
+            outcomes = asyncio.run(main())
+            stats = handle.stats()
+        answered = [r for r in outcomes if not isinstance(r, Exception)]
+        rejected = [r for r in outcomes if isinstance(r, ServerBusyError)]
+        assert len(answered) + len(rejected) == 6
+        assert rejected, "overflow must surface as ServerBusyError"
+        assert all(r.retry_after > 0 for r in rejected)
+        assert stats.requests_rejected == len(rejected)
+        assert stats.requests_answered == len(answered)
+
+    def test_busy_retry_loop_eventually_answers(self, vectors, sock):
+        """``retries=`` turns the 429 into a client-side backoff."""
+        index = LinearScan(vectors, EuclideanDistance())
+        config = BatchConfig(
+            max_batch=4, max_wait_ms=5.0, adaptive=False, max_queue=4
+        )
+
+        async def main():
+            async with await AsyncClient.connect(unix_path=sock) as client:
+                tasks = [
+                    asyncio.ensure_future(
+                        client.knn(vectors[i:i + 1], 2, retries=20)
+                    )
+                    for i in range(12)
+                ]
+                return await asyncio.gather(*tasks)
+
+        with serve_in_thread(
+            index, unix_path=sock, config=config, close_index=False
+        ):
+            results = asyncio.run(main())
+        want = index.knn_batch_arrays(vectors[:1], 2)
+        assert len(results) == 12
+        assert_rows_equal(results[0].rows, want, exact=False)
+
+    def test_drain_answers_every_accepted_request(self, vectors, sock):
+        """Graceful shutdown mid-window: every admitted request answers,
+        submissions after the drain begins get explicit REJECTED."""
+        index = LinearScan(vectors, EuclideanDistance())
+        config = BatchConfig(
+            max_batch=1024, max_wait_ms=250.0, adaptive=False
+        )
+        handle = serve_in_thread(
+            index, unix_path=sock, config=config, close_index=False
+        )
+        n_requests = 30
+
+        async def main():
+            client = await AsyncClient.connect(unix_path=sock)
+            tasks = [
+                asyncio.ensure_future(client.knn(vectors[i:i + 1], 3))
+                for i in range(n_requests)
+            ]
+            await asyncio.sleep(0.05)  # all admitted, window still open
+            drain = asyncio.run_coroutine_threadsafe(
+                handle.server.drain(), handle._loop
+            )
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            pong = await client.ping()  # health answers during the drain
+            await client.close()
+            await asyncio.wrap_future(drain)
+            return outcomes, pong
+
+        try:
+            outcomes, pong = asyncio.run(main())
+        finally:
+            handle.stop()
+        failures = [
+            r for r in outcomes
+            if isinstance(r, Exception)
+            and not isinstance(r, ServerBusyError)
+        ]
+        assert not failures
+        answered = [r for r in outcomes if not isinstance(r, Exception)]
+        stats = handle.stats()
+        # Zero accepted requests dropped: everything admitted answered.
+        assert stats.requests_admitted == stats.requests_answered
+        assert len(answered) == stats.requests_answered
+        assert answered, "the open window must flush, not vanish"
+        assert pong.draining
+        want = index.knn_batch_arrays(vectors[:1], 3)
+        assert_rows_equal(answered[0].rows, want, exact=False)
+        assert not os.path.exists(sock)  # drain unlinked the socket
+
+    def test_stop_is_idempotent(self, vectors, sock):
+        index = LinearScan(vectors, EuclideanDistance())
+        handle = serve_in_thread(index, unix_path=sock, close_index=False)
+        handle.stop()
+        handle.stop()
+
+    def test_startup_sweeps_dead_owner_segments(self, vectors, sock):
+        """A server inherits a clean shm namespace: stale ``repro-*``
+        segments of dead owners are unlinked during start()."""
+        proc = subprocess.Popen(["/bin/true"])
+        proc.wait()
+        stale = f"repro-{proc.pid}-deadbeef"
+        shm = shared_memory.SharedMemory(name=stale, create=True, size=16)
+        resource_tracker.unregister(shm._name, "shared_memory")
+        shm.close()
+        try:
+            index = LinearScan(vectors, EuclideanDistance())
+            with serve_in_thread(index, unix_path=sock, close_index=False):
+                assert stale not in _repro_segments()
+        finally:
+            try:
+                os.unlink(f"/dev/shm/{stale}")
+            except FileNotFoundError:
+                pass
+
+    def test_rejects_ambiguous_listener_config(self, vectors, sock):
+        index = LinearScan(vectors, EuclideanDistance())
+        with pytest.raises(ValueError):
+            QueryServer(index)
+        with pytest.raises(ValueError):
+            QueryServer(index, unix_path=sock, host="127.0.0.1", port=0)
+        with pytest.raises(ValueError):
+            QueryServer(index, host="127.0.0.1")
+
+
+# ----------------------------------------------------------------------
+# End-to-end over a sharded string index: byte identity, degraded
+# flags under injected worker kills, and shutdown hygiene.
+# ----------------------------------------------------------------------
+
+
+class TestServerSharded:
+    def test_string_answers_byte_identical(self, words, sock, leak_check):
+        """Discrete metric through shards and coalesced windows: strict
+        byte identity against the serial oracle, all three ops."""
+        oracle = LinearScan(words, LevenshteinDistance())
+        index = ShardedIndex(
+            words, LevenshteinDistance(), LinearScan, n_shards=2
+        )
+        queries = words[:9]
+        config = BatchConfig(max_batch=32, max_wait_ms=2.0)
+
+        async def main():
+            async with await AsyncClient.connect(unix_path=sock) as client:
+                return await asyncio.gather(
+                    client.knn(queries, 4),
+                    client.knn(queries, 2),
+                    client.range_search(queries, 1.0),
+                    client.range_search(queries, 2.0),
+                    client.knn_approx(queries, 3, budget=len(words)),
+                )
+
+        with serve_in_thread(index, unix_path=sock, config=config):
+            results = asyncio.run(main())
+        want = (
+            oracle.knn_batch_arrays(queries, 4),
+            oracle.knn_batch_arrays(queries, 2),
+            oracle.range_batch_arrays(queries, 1.0),
+            oracle.range_batch_arrays(queries, 2.0),
+            oracle.knn_approx_batch_arrays(queries, 3, budget=len(words)),
+        )
+        for result, expected in zip(results, want):
+            assert not result.degraded
+            assert_rows_equal(result.rows, expected, exact=True)
+
+    def test_injected_kill_surfaces_degraded_flag(
+        self, words, sock, leak_check
+    ):
+        """A worker kill under ``on_partial="degrade"`` marks exactly
+        the affected response degraded; the next answer is whole and
+        byte-identical to the serial oracle."""
+        oracle = LinearScan(words, LevenshteinDistance())
+        index = ShardedIndex(
+            words, LevenshteinDistance(), LinearScan, n_shards=2,
+            resident=True,
+            policy=QueryPolicy(deadline=10.0, retries=0,
+                               on_partial="degrade"),
+            faults=[FaultSpec("kill", shard=1, request=1)],
+        )
+        queries = words[:6]
+        with serve_in_thread(index, unix_path=sock) as handle:
+            with SyncClient(unix_path=sock) as client:
+                hit = client.knn(queries, 3)
+                assert hit.degraded  # shard 1 died mid-answer
+                assert hit.rows.n_queries == len(queries)
+                whole = client.knn(queries, 3)
+                assert not whole.degraded  # the respawned worker answers
+                stats = handle.stats()
+        assert stats.degraded_responses == 1
+        assert_rows_equal(
+            whole.rows, oracle.knn_batch_arrays(queries, 3), exact=True
+        )
+
+    def test_server_stop_closes_resident_index_once(
+        self, words, sock, leak_check
+    ):
+        """The drain path and a later explicit close may both run;
+        ``ShardedIndex.close()`` must be re-entrant and leak nothing."""
+        index = ShardedIndex(
+            words, LevenshteinDistance(), LinearScan, n_shards=2,
+            resident=True,
+        )
+        with serve_in_thread(index, unix_path=sock):
+            with SyncClient(unix_path=sock) as client:
+                assert client.knn(words[:3], 2).rows.n_queries == 3
+        # serve stop already closed the index; both of these are no-ops.
+        index.close()
+        index.close()
+
+    def test_double_close_without_server(self, words, leak_check):
+        index = ShardedIndex(
+            words, LevenshteinDistance(), LinearScan, n_shards=2,
+            resident=True,
+        )
+        assert index.knn_batch_arrays(words[:3], 2).n_queries == 3
+        index.close()
+        index.close()
