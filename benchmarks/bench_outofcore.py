@@ -1,0 +1,316 @@
+"""Bench: the out-of-core engine — mapped code stores vs RAM-resident.
+
+Measures what memory-mapping the Corollary-8 code section actually buys
+and costs:
+
+- **mmap-vs-RAM throughput** — ``knn_approx`` batches against the same
+  version-3 payload loaded both ways, across a size ladder.  Each
+  measurement runs in its own subprocess so ``ru_maxrss`` is the peak
+  RSS of exactly that configuration.
+- **Bounded decoded residency** — every mmap measurement loads a
+  dataset whose decoded code section is at least **4x** the decoded-
+  block LRU budget and asserts the store's peak decoded residency
+  stayed within the budget.
+- **Streaming census** — a disk-resident ASCII database censused chunk
+  by chunk (:func:`repro.parallel.census.streaming_census`) must
+  produce counts identical to the in-memory sharded census.
+
+The guards are armed in *every* mode, including ``--smoke`` (CI):
+byte-identical mmap answers, the residency bound, and census equality
+all assert before any JSON is written.
+
+    PYTHONPATH=src python benchmarks/bench_outofcore.py           # full
+    PYTHONPATH=src python benchmarks/bench_outofcore.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets.io import iter_vector_chunks, save_vectors  # noqa: E402
+from repro.index import DistPermIndex  # noqa: E402
+from repro.index.serialize import load_distperm, save_distperm  # noqa: E402
+from repro.metrics import EuclideanDistance  # noqa: E402
+from repro.parallel.census import sharded_census, streaming_census  # noqa: E402
+
+K_SITES = 8
+DIM = 8
+KNN = 10
+BUDGET = 200
+N_QUERIES = 64
+SEED = 20080408
+#: Decoded code section must be at least this multiple of the LRU budget.
+RESIDENCY_FACTOR = 4
+SIZES_FULL = (20_000, 50_000, 100_000, 200_000)
+SIZES_SMOKE = (4_096,)
+CENSUS_CHUNK_ROWS = 4_096
+
+
+def _cache_budget(n: int) -> int:
+    """An LRU budget the decoded section exceeds by RESIDENCY_FACTOR."""
+    return max(8192, (n * 8) // RESIDENCY_FACTOR)
+
+
+def _digest(arrays) -> str:
+    h = hashlib.sha256()
+    h.update(arrays.distances.tobytes())
+    h.update(arrays.indices.tobytes())
+    h.update(arrays.offsets.tobytes())
+    return h.hexdigest()
+
+
+def _build_payload(points: np.ndarray, path: Path) -> None:
+    index = DistPermIndex(
+        points, EuclideanDistance(), n_sites=K_SITES,
+        rng=np.random.default_rng(SEED),
+    )
+    save_distperm(path, index)
+
+
+def _queries(rng: np.random.Generator) -> np.ndarray:
+    return rng.random((N_QUERIES, DIM))
+
+
+def _measure_inprocess(points, payload, backing, cache_bytes):
+    """Load ``payload`` under ``backing``, query it, and report."""
+    kwargs = {}
+    if backing == "mmap":
+        kwargs = {"backing": "mmap", "cache_bytes": cache_bytes}
+    index = load_distperm(payload, points, EuclideanDistance(), **kwargs)
+    try:
+        queries = _queries(np.random.default_rng(SEED + 1))
+        index.knn_approx_batch_arrays(queries, KNN, budget=BUDGET)  # warm
+        start = time.perf_counter()
+        arrays = index.knn_approx_batch_arrays(queries, KNN, budget=BUDGET)
+        elapsed = time.perf_counter() - start
+        result = {
+            "backing": backing,
+            "elapsed_s": round(elapsed, 6),
+            "qps": round(N_QUERIES / elapsed, 2) if elapsed > 0 else None,
+            "digest": _digest(arrays),
+            "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        }
+        store = getattr(index, "code_store", None)
+        if store is not None:
+            result["decoded_bytes_total"] = store.decoded_bytes_total()
+            result["peak_cache_bytes"] = store.peak_cache_bytes
+            result["cache_bytes"] = store.cache_bytes
+            result["cache_hits"] = store.cache_hits
+            result["cache_misses"] = store.cache_misses
+            if store.peak_cache_bytes > store.cache_bytes:
+                raise AssertionError(
+                    f"peak decoded residency {store.peak_cache_bytes} "
+                    f"exceeds the {store.cache_bytes}-byte budget"
+                )
+            if store.decoded_bytes_total() < RESIDENCY_FACTOR * cache_bytes:
+                raise AssertionError(
+                    f"decoded section {store.decoded_bytes_total()}B is "
+                    f"not >= {RESIDENCY_FACTOR}x the {cache_bytes}B budget "
+                    f"— the bench would not exercise eviction"
+                )
+        return result
+    finally:
+        closer = getattr(index, "close", None)
+        if callable(closer):
+            closer()
+
+
+def _measure_subprocess(points_path, payload, backing, cache_bytes):
+    """One (payload, backing) measurement in a fresh interpreter."""
+    command = [
+        sys.executable, str(Path(__file__).resolve()), "--_measure",
+        str(points_path), str(payload), backing, str(cache_bytes),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        command, capture_output=True, text=True, env=env, check=False
+    )
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"measurement subprocess failed ({backing}): "
+            f"{proc.stderr.strip()[-500:]}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _run_measure_child(argv):
+    points_path, payload, backing, cache_bytes = argv
+    points = np.load(points_path)
+    result = _measure_inprocess(
+        points, Path(payload), backing, int(cache_bytes)
+    )
+    print(json.dumps(result))
+    return 0
+
+
+def bench_throughput_curve(sizes, workdir, *, subprocesses):
+    """mmap-vs-RAM throughput and RSS across the size ladder."""
+    curve = []
+    rng = np.random.default_rng(SEED)
+    for n in sizes:
+        points = rng.random((n, DIM))
+        payload = workdir / f"index-{n}.rpc"
+        _build_payload(points, payload)
+        cache_bytes = _cache_budget(n)
+        if subprocesses:
+            points_path = workdir / f"points-{n}.npy"
+            np.save(points_path, points)
+            ram = _measure_subprocess(points_path, payload, "ram", cache_bytes)
+            mapped = _measure_subprocess(
+                points_path, payload, "mmap", cache_bytes
+            )
+        else:
+            ram = _measure_inprocess(points, payload, "ram", cache_bytes)
+            mapped = _measure_inprocess(points, payload, "mmap", cache_bytes)
+        if mapped["digest"] != ram["digest"]:
+            raise AssertionError(
+                f"n={n}: mmap answers diverge from the RAM path"
+            )
+        curve.append({
+            "n": n,
+            "payload_bytes": payload.stat().st_size,
+            "cache_bytes": cache_bytes,
+            "answers_identical": True,
+            "ram": ram,
+            "mmap": mapped,
+            "mmap_vs_ram_qps": (
+                round(mapped["qps"] / ram["qps"], 3)
+                if ram["qps"] and mapped["qps"] else None
+            ),
+        })
+    return curve
+
+
+def bench_streaming_census(n, workdir):
+    """Chunked on-disk census must equal the in-memory sharded census."""
+    rng = np.random.default_rng(SEED + 2)
+    points = rng.random((n, DIM))
+    sites = points[:K_SITES]
+    metric = EuclideanDistance()
+    start = time.perf_counter()
+    whole, _ = sharded_census(points, sites, metric, ks=[4, K_SITES])
+    inmemory_s = time.perf_counter() - start
+    database = workdir / f"census-{n}.txt"
+    save_vectors(database, points)
+    chunk_rows = min(CENSUS_CHUNK_ROWS, max(256, n // 8))
+    start = time.perf_counter()
+    streamed = streaming_census(
+        iter_vector_chunks(database, chunk_rows), sites, metric,
+        ks=[4, K_SITES],
+    )
+    streamed_s = time.perf_counter() - start
+    for k in whole:
+        same = (
+            np.array_equal(streamed[k].codes, whole[k].codes)
+            and np.array_equal(streamed[k]._counts, whole[k]._counts)
+        )
+        if not same:
+            raise AssertionError(
+                f"streaming census diverges from in-memory at k={k}"
+            )
+    return {
+        "n": n,
+        "chunk_rows": chunk_rows,
+        "counts_identical": True,
+        "distinct": {str(k): whole[k].distinct for k in sorted(whole)},
+        "inmemory_s": round(inmemory_s, 4),
+        "streamed_s": round(streamed_s, 4),
+    }
+
+
+def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "--_measure":
+        return _run_measure_child(argv[1:])
+    parser = argparse.ArgumentParser(
+        description="Out-of-core mapped-store vs RAM benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI, measured in-process; the residency, "
+        "identical-answer, and census guards still assert; the JSON "
+        "write is skipped unless --output is given",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="result JSON path "
+        f"(default: {REPO_ROOT / 'BENCH_outofcore.json'})",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SIZES_SMOKE if args.smoke else SIZES_FULL
+    census_n = 4_096 if args.smoke else 50_000
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-outofcore-") as tmp:
+            workdir = Path(tmp)
+            curve = bench_throughput_curve(
+                sizes, workdir, subprocesses=not args.smoke
+            )
+            census = bench_streaming_census(census_n, workdir)
+    except AssertionError as failure:
+        print(f"FAIL: {failure}")
+        return 1
+
+    report = {
+        "bench": "bench_outofcore",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "dataset": "uniform-vectors",
+        "metric": "euclidean",
+        "dim": DIM,
+        "sites": K_SITES,
+        "knn": KNN,
+        "budget": BUDGET,
+        "residency_factor": RESIDENCY_FACTOR,
+        "throughput_curve": curve,
+        "streaming_census": census,
+    }
+    output = args.output
+    if output is None and not args.smoke:
+        output = REPO_ROOT / "BENCH_outofcore.json"
+    if output is not None:
+        output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+
+    for point in curve:
+        mapped = point["mmap"]
+        print(
+            f"n={point['n']}: ram {point['ram']['qps']} q/s "
+            f"(rss {point['ram']['ru_maxrss_kb']} KiB) | "
+            f"mmap {mapped['qps']} q/s "
+            f"(rss {mapped['ru_maxrss_kb']} KiB, decoded peak "
+            f"{mapped['peak_cache_bytes']}/{mapped['cache_bytes']} B), "
+            f"answers identical"
+        )
+    print(
+        f"census n={census['n']}: streamed {census['streamed_s']}s vs "
+        f"in-memory {census['inmemory_s']}s, counts identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

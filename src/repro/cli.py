@@ -116,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--seed", type=int, default=0)
     census.add_argument("--dump", default=None,
                         help="write per-element permutations (ASCII) here")
+    census.add_argument("--chunk-rows", type=int, default=None,
+                        help="stream the database from disk in chunks of "
+                             "this many rows (bounded memory, counts "
+                             "identical to the whole-file run; "
+                             "incompatible with --dump)")
     census.add_argument("--report-storage", action="store_true",
                         help="print realized (measured) bytes/element of "
                              "the code and table encodings next to the "
@@ -156,6 +161,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "batch engine (baseline comparison)")
     search.add_argument("--show", type=int, default=0,
                         help="print the results of the first N queries")
+    search.add_argument("--save-index", default=None, metavar="PATH",
+                        help="after building, save the index payload to "
+                             "PATH as a v3 container (--index distperm "
+                             "only; with --load-index this converts a v2 "
+                             "payload to v3)")
+    search.add_argument("--load-index", default=None, metavar="PATH",
+                        help="load the index payload from PATH instead of "
+                             "building (--index distperm only; no build "
+                             "distances are recomputed)")
+    search.add_argument("--mmap", action="store_true",
+                        help="with --load-index on a v3 payload: "
+                             "memory-map the packed code section instead "
+                             "of decoding it into RAM (out-of-core "
+                             "queries)")
+    search.add_argument("--cache-bytes", type=int, default=None,
+                        help="decoded-block LRU budget per mapped code "
+                             "store, in bytes (with --mmap; default "
+                             "16 MiB)")
     _add_parallel_flags(search)
     search.add_argument("--resident", action="store_true",
                         help="serve shards from supervised pinned worker "
@@ -312,10 +335,91 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_census_streaming(args: argparse.Namespace) -> int:
+    """The out-of-core census: chunked disk reads, bounded memory.
+
+    Reads the database twice — one cheap counting pass (to draw the same
+    site indices the in-memory build would draw, and fetch exactly those
+    rows) and one chunked census pass — but never holds more than
+    ``chunk_rows`` rows at once.  Counts are identical to the in-memory
+    run for every chunk size and ``workers``/``shards`` setting.
+    """
+    from repro.core.storage import storage_report
+    from repro.datasets.io import (
+        count_rows,
+        iter_string_chunks,
+        iter_vector_chunks,
+        read_string_rows,
+        read_vector_rows,
+    )
+    from repro.index.pivots import select_pivots
+    from repro.parallel.census import streaming_census
+
+    if args.chunk_rows < 1:
+        print("error: --chunk-rows must be >= 1", file=sys.stderr)
+        return 1
+    if args.dump:
+        print("error: --dump needs the in-memory census (it materializes "
+              "every permutation); drop --chunk-rows", file=sys.stderr)
+        return 1
+    error = _parallel_flags_error(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        n = count_rows(args.input)
+    except OSError as error:
+        print(f"error: cannot read {args.input}: {error}", file=sys.stderr)
+        return 1
+    if n == 0:
+        print("error: empty database", file=sys.stderr)
+        return 1
+    if args.sites < 1 or args.sites > n:
+        print(f"error: need 1 <= sites <= {n}, got {args.sites}",
+              file=sys.stderr)
+        return 1
+    metric = _METRICS[args.metric]()
+    # The "random" strategy touches only len() and drawn indices, so a
+    # row-count proxy draws the same sites as the in-memory build.
+    site_indices = select_pivots(
+        range(n), metric, args.sites, strategy="random",
+        rng=np.random.default_rng(args.seed),
+    )
+    if args.kind == "vectors":
+        sites = read_vector_rows(args.input, site_indices)
+        chunks = iter_vector_chunks(args.input, args.chunk_rows)
+    else:
+        sites = read_string_rows(args.input, site_indices)
+        chunks = iter_string_chunks(args.input, args.chunk_rows)
+    censuses = streaming_census(
+        chunks, sites, metric, [args.sites],
+        workers=args.workers, shards=args.shards,
+    )
+    distinct = censuses[args.sites].distinct
+    report = storage_report(
+        n=n, k=args.sites, realized_permutations=distinct
+    )
+    print(f"database: {args.input} ({n} elements, metric {metric.name}, "
+          f"streamed {args.chunk_rows} rows/chunk)")
+    print(f"sites (k={args.sites}): indices {site_indices}")
+    print(f"unique distance permutations: {distinct} "
+          f"(of k! = {math.factorial(args.sites)})")
+    print(f"bits/element: table={report.bits_permutation_table} "
+          f"naive={report.bits_naive_permutation} "
+          f"LAESA={report.bits_laesa}")
+    if args.report_storage:
+        _print_realized_storage(
+            n=n, k=args.sites, distinct=distinct, report=report, index=None,
+        )
+    return 0
+
+
 def _cmd_census(args: argparse.Namespace) -> int:
     from repro.datasets.io import load_strings, load_vectors, save_permutations
     from repro.index import DistPermIndex
 
+    if args.chunk_rows is not None:
+        return _cmd_census_streaming(args)
     if args.kind == "vectors":
         points = load_vectors(args.input)
     else:
@@ -547,6 +651,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.retries is not None and args.retries < 0:
         print("error: --retries must be >= 0", file=sys.stderr)
         return 1
+    if (args.save_index or args.load_index) and args.index != "distperm":
+        print("error: --save-index/--load-index support --index distperm "
+              "payloads only", file=sys.stderr)
+        return 1
+    if args.mmap and not args.load_index:
+        print("error: --mmap maps a saved payload; it needs --load-index",
+              file=sys.stderr)
+        return 1
+    if args.cache_bytes is not None and not args.mmap:
+        print("error: --cache-bytes tunes the mapped store; it needs "
+              "--mmap", file=sys.stderr)
+        return 1
+    backing = "mmap" if args.mmap else "ram"
     if sharded:
         from functools import partial
 
@@ -563,18 +680,55 @@ def _cmd_search(args: argparse.Namespace) -> int:
             retries=args.retries if args.retries is not None else 1,
             on_partial=args.on_partial if args.on_partial else "raise",
         )
-        index = ShardedIndex(
-            points,
-            metric,
-            partial(_sharded_inner, name=args.index, sites=args.sites,
-                    pivots=args.pivots, seed=args.seed),
-            n_shards=n_shards,
-            workers=args.workers,
-            resident=resident,
-            policy=policy,
-        )
+        if args.load_index:
+            from repro.index.serialize import load_sharded
+
+            try:
+                index = load_sharded(
+                    args.load_index, points, metric,
+                    workers=args.workers, resident=resident, policy=policy,
+                    backing=backing, cache_bytes=args.cache_bytes,
+                )
+            except (OSError, ValueError) as error:
+                print(f"error: cannot load {args.load_index}: {error}",
+                      file=sys.stderr)
+                return 1
+        else:
+            index = ShardedIndex(
+                points,
+                metric,
+                partial(_sharded_inner, name=args.index, sites=args.sites,
+                        pivots=args.pivots, seed=args.seed),
+                n_shards=n_shards,
+                workers=args.workers,
+                resident=resident,
+                policy=policy,
+            )
+        if args.save_index:
+            from repro.index.serialize import save_sharded
+
+            save_sharded(args.save_index, index)
+            print(f"index payload saved to {args.save_index}")
     else:
-        index = _build_search_index(args.index, points, metric, args)
+        if args.load_index:
+            from repro.index.serialize import load_distperm
+
+            try:
+                index = load_distperm(
+                    args.load_index, points, metric,
+                    backing=backing, cache_bytes=args.cache_bytes,
+                )
+            except (OSError, ValueError) as error:
+                print(f"error: cannot load {args.load_index}: {error}",
+                      file=sys.stderr)
+                return 1
+        else:
+            index = _build_search_index(args.index, points, metric, args)
+        if args.save_index:
+            from repro.index.serialize import save_distperm
+
+            save_distperm(args.save_index, index)
+            print(f"index payload saved to {args.save_index}")
     if args.mode == "knn-approx" and args.budget is not None:
         from repro.index.base import Index
 
@@ -596,6 +750,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     finally:
         if sharded:
             index.close()
+        else:
+            # A loaded mmap-backed DistPermIndex holds an open mapping.
+            closer = getattr(index, "close", None)
+            if callable(closer):
+                closer()
     detail = {
         "knn": f"k={min(args.k, len(points))}",
         "range": f"radius={args.radius}",

@@ -9,8 +9,9 @@ permutation table and reports its true byte footprint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+import os
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
@@ -80,9 +81,10 @@ class PackedPermutationStore:
 
     table_codes: np.ndarray  # (N,) sorted codes of the distinct permutations
     k: int
-    packed: bytes
+    packed: Union[bytes, np.ndarray]  # bytes in RAM, uint8 memmap on disk
     bit_width: int
     count: int
+    backing: str = field(default="ram")
 
     @classmethod
     def from_permutations(cls, perms: np.ndarray) -> "PackedPermutationStore":
@@ -106,6 +108,43 @@ class PackedPermutationStore:
             packed=pack_ids(ids, bit_width),
             bit_width=bit_width,
             count=codes.shape[0],
+        )
+
+    @classmethod
+    def from_packed_file(
+        cls,
+        path: Union[str, "os.PathLike[str]"],
+        *,
+        table_codes: np.ndarray,
+        k: int,
+        bit_width: int,
+        count: int,
+        offset: int = 0,
+    ) -> "PackedPermutationStore":
+        """Map the packed-id section of a file instead of loading it.
+
+        The returned store has ``backing="mmap"``: ``packed`` is a
+        read-only uint8 ``np.memmap`` of the section, so random access
+        (:meth:`__getitem__`) and bulk decoding touch only the pages the
+        OS faults in.  The section layout is exactly :func:`pack_ids`
+        output at byte ``offset`` (version-3 payloads page-align it).
+        """
+        nbytes = (count * bit_width + 7) // 8
+        if os.stat(path).st_size < offset + nbytes:
+            raise ValueError(
+                f"file {os.fspath(path)} too short for {count} ids of "
+                f"{bit_width} bits at offset {offset}"
+            )
+        packed = np.memmap(
+            path, dtype=np.uint8, mode="r", offset=offset, shape=(nbytes,)
+        )
+        return cls(
+            table_codes=np.asarray(table_codes),
+            k=int(k),
+            packed=packed,
+            bit_width=int(bit_width),
+            count=int(count),
+            backing="mmap",
         )
 
     @property
@@ -133,7 +172,7 @@ class PackedPermutationStore:
             first_byte, first_bit = divmod(start, 8)
             last_byte = (stop + 7) // 8
             chunk = int.from_bytes(
-                self.packed[first_byte:last_byte], byteorder="little"
+                bytes(self.packed[first_byte:last_byte]), byteorder="little"
             )
             table_id = (chunk >> first_bit) & ((1 << self.bit_width) - 1)
         row = decode_permutations(

@@ -6,12 +6,25 @@ realizable, a table of the realized permutations plus per-element indexes
 into it needs ``ceil(log2 N)`` bits per element — ``Θ(d log k)`` in
 ``d``-dimensional Euclidean space, beating LAESA's ``O(k log n)`` and the
 naive permutation encoding's ``O(k log k)``.
+
+:class:`MappedCodeStore` is the accounting made *operational*: the
+Corollary-8 packed code section of a version-3 payload
+(:mod:`repro.index.serialize`), memory-mapped and decoded lazily in
+aligned blocks, so the bit bound is the query-time working set instead
+of merely the on-disk size.
 """
 
 from __future__ import annotations
 
 import math
+import mmap as _mmap
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.counting import euclidean_permutation_count
 
@@ -22,6 +35,7 @@ __all__ = [
     "bits_euclidean_element",
     "StorageReport",
     "storage_report",
+    "MappedCodeStore",
 ]
 
 
@@ -110,3 +124,222 @@ def storage_report(n: int, k: int, realized_permutations: int) -> StorageReport:
         bits_permutation_table=bits_for_count(realized_permutations),
         table_overhead_bits=realized_permutations * bits_full_permutation(k),
     )
+
+
+class MappedCodeStore:
+    """Lazily decoded view of a bit-packed code section on disk.
+
+    The store memory-maps ``nbytes`` of packed ``bit_width``-bit Lehmer
+    codes starting at ``offset`` in ``path`` (a version-3 payload section,
+    page-aligned by the writer) and decodes them on demand in fixed-size
+    blocks of ``block_elements`` codes each.  Decoded uint64 blocks live
+    in an LRU capped at ``cache_bytes``: eviction happens *before* insert,
+    so peak decoded residency never exceeds the budget plus one block.
+
+    Corrupt pages surface as :class:`~repro.index.serialize.PayloadCorruptError`
+    with the same shard / byte-offset contract as the eager v2 loader:
+    a short section raises at construction, and a block whose codes decode
+    outside ``[0, k!)`` raises on first touch.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        offset: int,
+        nbytes: int,
+        bit_width: int,
+        count: int,
+        k: int,
+        block_elements: int = 8192,
+        cache_bytes: int = 1 << 24,
+        shard: Optional[str] = None,
+    ) -> None:
+        if bit_width < 1:
+            raise ValueError("bit_width must be >= 1")
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if block_elements < 8 or block_elements % 8:
+            # Block boundaries must start on byte boundaries for every
+            # bit width: start_elem * bit_width is divisible by 8 when
+            # block_elements is a multiple of 8.
+            raise ValueError("block_elements must be a positive multiple of 8")
+        if cache_bytes < block_elements * 8:
+            raise ValueError(
+                f"cache_bytes={cache_bytes} cannot hold one decoded block "
+                f"({block_elements * 8} bytes); raise cache_bytes or shrink "
+                f"block_elements"
+            )
+        self.path = os.fspath(path)
+        self.offset = int(offset)
+        self.bit_width = int(bit_width)
+        self.count = int(count)
+        self.k = int(k)
+        self.block_elements = int(block_elements)
+        self.cache_bytes = int(cache_bytes)
+        self.shard = shard
+        self._max_code = np.uint64(math.factorial(self.k)) if self.k <= 20 else None
+
+        needed = (self.count * self.bit_width + 7) // 8
+        file_size = os.stat(self.path).st_size
+        available = max(0, min(int(nbytes), file_size - self.offset))
+        if available < needed:
+            from repro.index.serialize import PayloadCorruptError
+
+            raise PayloadCorruptError(
+                f"packed code stream truncated (have {available} bytes, "
+                f"need {needed})",
+                shard=shard,
+                byte_offset=available,
+            )
+
+        self._file = open(self.path, "rb")
+        self._mmap = _mmap.mmap(self._file.fileno(), 0, access=_mmap.ACCESS_READ)
+        self._packed: Optional[np.ndarray] = np.frombuffer(
+            self._mmap, dtype=np.uint8, count=needed, offset=self.offset
+        )
+        self._blocks: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.current_cache_bytes = 0
+        self.peak_cache_bytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._closed = False
+
+    # -- geometry -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def n_blocks(self) -> int:
+        if self.count == 0:
+            return 0
+        return (self.count + self.block_elements - 1) // self.block_elements
+
+    def block_range(self, block: int) -> Tuple[int, int]:
+        """Element range ``[start, stop)`` covered by ``block``."""
+        if block < 0 or block >= self.n_blocks:
+            raise IndexError(f"block {block} out of range [0, {self.n_blocks})")
+        start = block * self.block_elements
+        return start, min(start + self.block_elements, self.count)
+
+    def decoded_bytes_total(self) -> int:
+        """Bytes the fully decoded uint64 code table would occupy."""
+        return self.count * 8
+
+    # -- decoding -----------------------------------------------------
+
+    def codes_block(self, block: int) -> np.ndarray:
+        """Decoded uint64 codes for ``block`` (cached, read-only)."""
+        if self._closed:
+            raise ValueError("MappedCodeStore is closed")
+        cached = self._blocks.get(block)
+        if cached is not None:
+            self.cache_hits += 1
+            self._blocks.move_to_end(block)
+            return cached
+        self.cache_misses += 1
+        start, stop = self.block_range(block)
+        first_byte = start * self.bit_width // 8
+        last_byte = (stop * self.bit_width + 7) // 8
+        chunk = self._packed[first_byte:last_byte]
+
+        from repro.core.bitpack import unpack_ids
+        from repro.index.serialize import PayloadCorruptError
+
+        try:
+            codes = unpack_ids(chunk.tobytes(), self.bit_width, stop - start)
+        except ValueError as exc:  # pragma: no cover - guarded at __init__
+            raise PayloadCorruptError(
+                f"packed code stream truncated ({exc})",
+                shard=self.shard,
+                byte_offset=last_byte,
+            ) from exc
+        if self._max_code is not None:
+            bad = np.nonzero(codes >= self._max_code)[0]
+            if bad.size:
+                element = start + int(bad[0])
+                raise PayloadCorruptError(
+                    f"element {element} decodes outside [0, {self.k}!)",
+                    shard=self.shard,
+                    byte_offset=element * self.bit_width // 8,
+                )
+        codes.setflags(write=False)
+
+        new_bytes = codes.nbytes
+        while self._blocks and self.current_cache_bytes + new_bytes > self.cache_bytes:
+            _, evicted = self._blocks.popitem(last=False)
+            self.current_cache_bytes -= evicted.nbytes
+        self._blocks[block] = codes
+        self.current_cache_bytes += new_bytes
+        self.peak_cache_bytes = max(self.peak_cache_bytes, self.current_cache_bytes)
+        return codes
+
+    def iter_blocks(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, codes)`` for every block, in order."""
+        self.advise("sequential")
+        for block in range(self.n_blocks):
+            start, stop = self.block_range(block)
+            yield start, stop, self.codes_block(block)
+
+    def element(self, index: int) -> int:
+        """Single decoded code, pulling (and caching) its block."""
+        if index < 0 or index >= self.count:
+            raise IndexError(f"element {index} out of range [0, {self.count})")
+        block, within = divmod(index, self.block_elements)
+        return int(self.codes_block(block)[within])
+
+    # -- OS hints and lifecycle ---------------------------------------
+
+    def advise(self, mode: str) -> None:
+        """Best-effort ``madvise`` hint for the packed section.
+
+        ``mode`` is ``"sequential"``, ``"random"``, or ``"normal"``; on
+        platforms without ``mmap.madvise`` this is a no-op.
+        """
+        names = {
+            "sequential": "MADV_SEQUENTIAL",
+            "random": "MADV_RANDOM",
+            "normal": "MADV_NORMAL",
+        }
+        if mode not in names:
+            raise ValueError(
+                f"unknown advise mode {mode!r}; expected one of "
+                f"{sorted(names)}"
+            )
+        advice = getattr(_mmap, names[mode], None)
+        if advice is None or not hasattr(self._mmap, "madvise"):
+            return
+        page = _mmap.ALLOCATIONGRANULARITY
+        start = (self.offset // page) * page
+        if self._packed is None:
+            return
+        length = self.offset + len(self._packed) - start
+        try:
+            self._mmap.madvise(advice, start, length)
+        except (OSError, ValueError):  # pragma: no cover - platform-specific
+            pass
+
+    def clear_cache(self) -> None:
+        """Drop all decoded blocks (keeps the mapping open)."""
+        self._blocks.clear()
+        self.current_cache_bytes = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._blocks.clear()
+        self.current_cache_bytes = 0
+        self._packed = None
+        try:
+            self._mmap.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            pass
+        self._file.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass

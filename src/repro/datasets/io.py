@@ -10,7 +10,7 @@ unique permutations can easily be counted with ``sort | uniq | wc``";
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 import numpy as np
 
@@ -21,6 +21,11 @@ __all__ = [
     "load_strings",
     "save_permutations",
     "load_permutations",
+    "count_rows",
+    "iter_vector_chunks",
+    "iter_string_chunks",
+    "read_vector_rows",
+    "read_string_rows",
 ]
 
 PathLike = Union[str, Path]
@@ -96,3 +101,122 @@ def load_permutations(path: PathLike) -> np.ndarray:
     if not rows:
         return np.empty((0, 0), dtype=np.int64)
     return np.asarray(rows, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core readers: the same line formats, consumed a chunk at a time
+# so the whole database never has to fit in memory.  One streamed pass
+# over the chunks sees exactly the rows (in exactly the order) the
+# whole-file loaders return.
+# ---------------------------------------------------------------------------
+
+
+def count_rows(path: PathLike) -> int:
+    """Number of database rows (non-blank lines) in an ASCII file."""
+    count = 0
+    with open(path, "rb") as handle:
+        for line in handle:
+            if line.strip():
+                count += 1
+    return count
+
+
+def iter_vector_chunks(
+    path: PathLike, chunk_rows: int
+) -> Iterator[np.ndarray]:
+    """Yield consecutive ``(<=chunk_rows, d)`` float64 blocks of a vector file.
+
+    ``np.concatenate(list(iter_vector_chunks(p, c)))`` equals
+    :func:`load_vectors` for every chunk size; inconsistent vector widths
+    are rejected across chunk boundaries, not just within one chunk.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    width: int = -1
+    rows: List[List[float]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = [float(v) for v in line.split()]
+            if width < 0:
+                width = len(row)
+            elif len(row) != width:
+                raise ValueError("inconsistent vector dimensions in file")
+            rows.append(row)
+            if len(rows) == chunk_rows:
+                yield np.asarray(rows, dtype=np.float64)
+                rows = []
+    if rows:
+        yield np.asarray(rows, dtype=np.float64)
+
+
+def iter_string_chunks(path: PathLike, chunk_rows: int) -> Iterator[List[str]]:
+    """Yield consecutive lists of at most ``chunk_rows`` database strings."""
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    rows: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            rows.append(line)
+            if len(rows) == chunk_rows:
+                yield rows
+                rows = []
+    if rows:
+        yield rows
+
+
+def _gather_rows(path: PathLike, indices: Sequence[int], encoding: str):
+    """One streaming pass collecting specific row numbers, in index order.
+
+    Row numbering matches the corresponding whole-file loader: vectors
+    skip whitespace-only lines (``load_vectors`` strips), strings skip
+    only truly empty lines (``load_strings`` strips the newline alone).
+    """
+    blank = str.strip if encoding == "ascii" else (lambda s: s)
+    wanted = {int(i) for i in indices}
+    if wanted and min(wanted) < 0:
+        raise IndexError(f"negative row index {min(wanted)}")
+    found = {}
+    row = 0
+    with open(path, "r", encoding=encoding) as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not blank(line):
+                continue
+            if row in wanted:
+                found[row] = line
+                if len(found) == len(wanted):
+                    break
+            row += 1
+    missing = wanted - found.keys()
+    if missing:
+        raise IndexError(
+            f"row {min(missing)} out of range for {path}"
+        )
+    return [found[int(i)] for i in indices]
+
+
+def read_vector_rows(path: PathLike, indices: Sequence[int]) -> np.ndarray:
+    """Gather specific rows of a vector file in one streaming pass.
+
+    The out-of-core census uses this to pull the drawn site rows without
+    loading the database; rows come back in the order of ``indices``.
+    """
+    lines = _gather_rows(path, indices, "ascii")
+    rows = [[float(v) for v in line.split()] for line in lines]
+    if not rows:
+        return np.empty((0, 0), dtype=np.float64)
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise ValueError("inconsistent vector dimensions in file")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def read_string_rows(path: PathLike, indices: Sequence[int]) -> List[str]:
+    """Gather specific rows of a string file in one streaming pass."""
+    return _gather_rows(path, indices, "utf-8")

@@ -43,7 +43,7 @@ from repro.core.permutation import (
     permutation_positions,
     permutations_from_distances,
 )
-from repro.core.storage import StorageReport, storage_report
+from repro.core.storage import MappedCodeStore, StorageReport, storage_report
 from repro.index.base import Budget, Index, Neighbor, NeighborArrays
 from repro.index.batching import (
     exhaustive_knn_batch,
@@ -126,6 +126,41 @@ class DistPermIndex(Index):
         self._cache_perm_positions(perms)
 
     @property
+    def backing(self) -> str:
+        """``"ram"`` (decoded arrays resident) or ``"mmap"`` (disk-backed)."""
+        return getattr(self, "_backing", "ram")
+
+    @property
+    def code_store(self) -> Optional[MappedCodeStore]:
+        """The mapped code section, when ``backing == "mmap"``."""
+        return getattr(self, "_code_store", None)
+
+    def close(self) -> None:
+        """Release the mapped code section (no-op for RAM backing)."""
+        store = getattr(self, "_code_store", None)
+        if store is not None:
+            store.close()
+
+    def _materialized_codes(self) -> np.ndarray:
+        """The full uint64 code array (streamed out of the store on mmap)."""
+        if self.backing != "mmap":
+            return self.codes
+        store = self._code_store
+        out = np.empty(store.count, dtype=np.uint64)
+        for start, stop, codes in store.iter_blocks():
+            out[start:stop] = codes
+        return out
+
+    def _distinct_codes(self) -> np.ndarray:
+        """Sorted distinct codes; streamed set-union on the mmap path."""
+        if self.backing != "mmap":
+            return self.table_codes
+        distinct = np.empty(0, dtype=np.uint64)
+        for _, _, codes in self._code_store.iter_blocks():
+            distinct = np.union1d(distinct, codes)
+        return distinct
+
+    @property
     def permutations(self) -> np.ndarray:
         """The ``(n, k)`` permutation matrix, materialized from codes.
 
@@ -134,6 +169,8 @@ class DistPermIndex(Index):
         exists only while a caller (``--dump``, probe checks, tests)
         actually looks at it.
         """
+        if self.backing == "mmap":
+            return decode_permutations(self._materialized_codes(), self.n_sites)
         return self.table[self.ids]
 
     def _cache_perm_positions(
@@ -197,6 +234,11 @@ class DistPermIndex(Index):
         trade inserts make against census fidelity (a fresh build could
         draw sites from the new elements too).
         """
+        if self.backing == "mmap":
+            raise RuntimeError(
+                "add_points is not supported on an mmap-backed index; "
+                "reload with backing='ram' to append"
+            )
         if len(new_points) == 0:
             return
         query_count = self.metric.count
@@ -240,11 +282,15 @@ class DistPermIndex(Index):
 
     def unique_permutations(self) -> int:
         """The census of Tables 2–3: ``|{Π_y : y in database}|``."""
-        return int(self.table.shape[0])
+        return int(self._distinct_codes().shape[0])
 
     def distinct_permutation_set(self) -> Set[Tuple[int, ...]]:
         """The realized permutations themselves."""
-        return {tuple(int(v) for v in row) for row in self.table}
+        if self.backing == "mmap":
+            table = decode_permutations(self._distinct_codes(), self.n_sites)
+        else:
+            table = self.table
+        return {tuple(int(v) for v in row) for row in table}
 
     def storage(self) -> StorageReport:
         """Measured storage comparison for this database and site set."""
@@ -263,7 +309,9 @@ class DistPermIndex(Index):
         Built straight from the stored code array; no row matrix is
         materialized.
         """
-        return PackedPermutationStore.from_codes(self.codes, self.n_sites)
+        return PackedPermutationStore.from_codes(
+            self._materialized_codes(), self.n_sites
+        )
 
     def entropy(self) -> EntropyReport:
         """Entropy accounting of the permutation-id distribution.
@@ -272,7 +320,44 @@ class DistPermIndex(Index):
         could go on this database (the "more sophisticated structure" the
         paper alludes to for small databases).
         """
+        if self.backing == "mmap":
+            ids = np.searchsorted(self._distinct_codes(), self._materialized_codes())
+            return entropy_report(ids)
         return entropy_report(self.ids)
+
+    def _footrules_matrix(self, query_perms: np.ndarray) -> np.ndarray:
+        """Footrule of every query row against every stored permutation.
+
+        RAM backing feeds the resident rank-position cache to
+        ``footrule_matrix_batch`` in one call.  With mmap backing, the
+        matrix is assembled column-block by column-block over the mapped
+        code store — each block is decoded (through the LRU), inverted to
+        positions, scored, and written into its output columns.  Footrule
+        is per-column-independent integer math, so the assembled matrix
+        is byte-identical to the one-shot RAM result.
+        """
+        if self.backing != "mmap":
+            return footrule_matrix_batch(
+                None,
+                query_perms,
+                positions=self._perm_positions,
+                workspace=self._footrule_workspace,
+            )
+        store = self._code_store
+        k = self.n_sites
+        pos_dtype = compact_position_dtype(k)
+        out = np.empty((query_perms.shape[0], store.count), dtype=np.int64)
+        for start, stop, codes in store.iter_blocks():
+            positions = permutation_positions(
+                decode_permutations(codes, k)
+            ).astype(pos_dtype, copy=False)
+            out[:, start:stop] = footrule_matrix_batch(
+                None,
+                query_perms,
+                positions=positions,
+                workspace=self._footrule_workspace,
+            )
+        return out
 
     def candidate_order(self, query: Any) -> np.ndarray:
         """Database indices ordered by footrule to the query's permutation.
@@ -282,12 +367,7 @@ class DistPermIndex(Index):
         first.
         """
         query_perm = self.query_permutation(query)
-        footrules = footrule_matrix_batch(
-            None,
-            query_perm.reshape(1, -1),
-            positions=self._perm_positions,
-            workspace=self._footrule_workspace,
-        )[0]
+        footrules = self._footrules_matrix(query_perm.reshape(1, -1))[0]
         return np.argsort(footrules, kind="stable")
 
     def _range_impl(self, query: Any, radius: float) -> List[Neighbor]:
@@ -379,12 +459,7 @@ class DistPermIndex(Index):
             return out
         query_perms = self.query_permutations(queries)
         for start, stop in query_chunks(len(queries), n):
-            footrules = footrule_matrix_batch(
-                None,
-                query_perms[start:stop],
-                positions=self._perm_positions,
-                workspace=self._footrule_workspace,
-            )
+            footrules = self._footrules_matrix(query_perms[start:stop])
             means = footrules.mean(axis=1, keepdims=True)
             if limit >= n:
                 block = np.sort(footrules, axis=1)
@@ -419,12 +494,7 @@ class DistPermIndex(Index):
         # Chunking here bounds the (queries x n) footrule *output*;
         # footrule_matrix_batch additionally bounds its 3-d intermediate.
         for start, stop in query_chunks(len(queries), n):
-            footrules = footrule_matrix_batch(
-                None,
-                query_perms[start:stop],
-                positions=self._perm_positions,
-                workspace=self._footrule_workspace,
-            )
+            footrules = self._footrules_matrix(query_perms[start:stop])
             for offset, row in enumerate(footrules):
                 q = start + offset
                 b = int(row_budgets[q]) if row_budgets is not None else budget

@@ -252,6 +252,11 @@ class ShardedIndex(Index):
         #: Set by the loader for disk-backed indexes; resident workers
         #: then reload shard state from this payload file on respawn.
         self._payload_path: Optional[str] = None
+        #: How loaded shards (and their resident workers) hold the
+        #: packed code section: decoded in RAM or memory-mapped.
+        self._payload_backing: str = "ram"
+        self._payload_cache_bytes: Optional[int] = None
+        self._payload_block_elements: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Build.
@@ -375,6 +380,9 @@ class ShardedIndex(Index):
                         self.shard_offsets[s],
                         self.shard_offsets[s + 1],
                         raw_metric,
+                        backing=self._payload_backing,
+                        cache_bytes=self._payload_cache_bytes,
+                        block_elements=self._payload_block_elements,
                     )
                     for s in range(self.n_shards)
                 ]
@@ -779,6 +787,12 @@ class ShardedIndex(Index):
                     finally:
                         if executor is not None:
                             executor.close()
+            # Loaded mmap-backed shards hold open file mappings; release
+            # them with the rest of the runtime.
+            for shard in getattr(self, "shards", []) or []:
+                shard_close = getattr(shard, "close", None)
+                if callable(shard_close):
+                    shard_close()
         finally:
             if lock is not None:
                 lock.release()

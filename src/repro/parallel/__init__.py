@@ -19,7 +19,7 @@ The sharded index itself lives with its peers in
 :mod:`repro.index.sharded`.
 """
 
-from repro.parallel.census import shard_ranges, sharded_census
+from repro.parallel.census import shard_ranges, sharded_census, streaming_census
 from repro.parallel.executor import (
     Executor,
     ProcessExecutor,
@@ -61,5 +61,6 @@ __all__ = [
     "serial_workers",
     "shard_ranges",
     "sharded_census",
+    "streaming_census",
     "sweep_stale_segments",
 ]

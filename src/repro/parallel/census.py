@@ -42,7 +42,7 @@ from repro.metrics.base import Metric
 from repro.parallel.executor import Executor, get_executor
 from repro.parallel.sharedmem import SharedDataset
 
-__all__ = ["shard_ranges", "sharded_census"]
+__all__ = ["shard_ranges", "sharded_census", "streaming_census"]
 
 
 def shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
@@ -180,3 +180,57 @@ def sharded_census(
                 [chunk[1] for chunk in chunks], axis=0
             )
     return censuses, permutations
+
+
+def streaming_census(
+    chunks,
+    sites: Sequence[Any],
+    metric: Metric,
+    ks: Optional[Sequence[int]] = None,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    executor: Optional[Executor] = None,
+) -> Dict[int, StreamingCensus]:
+    """Census of a database consumed as an iterable of row chunks.
+
+    The out-of-core driver: ``chunks`` yields consecutive blocks of the
+    database (e.g. :func:`repro.datasets.io.iter_vector_chunks` over a
+    file larger than RAM) and only one chunk — never the database — is
+    resident at a time.  Each chunk runs through :func:`sharded_census`
+    (so ``workers``/``shards`` parallelism applies within every chunk)
+    and the partial censuses merge in chunk order, which is exact:
+    the census is a multiset count, so any partition of the rows merges
+    to the same counts as the one-shot in-memory census.  Memory is
+    bounded by one chunk's distance matrix plus the census itself —
+    ``O(min(n, N_{d,p}(k)))`` distinct codes, per the paper's counting
+    results.
+
+    One executor spans all chunks (spawning a pool per chunk would cost
+    more than the census); pass ``executor`` to share it wider still.
+    """
+    ks = list(ks) if ks is not None else [len(sites)]
+    own_executor = executor is None
+    executor = executor if executor is not None else get_executor(workers)
+    merged: Optional[Dict[int, StreamingCensus]] = None
+    try:
+        for chunk in chunks:
+            partial, _ = sharded_census(
+                chunk,
+                sites,
+                metric,
+                ks,
+                shards=shards,
+                executor=executor,
+            )
+            if merged is None:
+                merged = partial
+            else:
+                for k in ks:
+                    merged[k].merge(partial[k])
+    finally:
+        if own_executor:
+            executor.close()
+    if merged is None:
+        merged = {k: StreamingCensus() for k in ks}
+    return merged

@@ -291,10 +291,15 @@ class FileShardSource:
 
     For indexes reloaded via
     :func:`repro.index.serialize.load_sharded`: the worker reads shard
-    ``shard`` of the ``.npz`` at ``path`` (one bit-packed code payload,
+    ``shard`` of the payload at ``path`` (one bit-packed code payload,
     no build distances) and attaches its database slice
     ``[start:stop)`` from the owner's shared-memory publication of the
     full point set.
+
+    With ``backing="mmap"`` (version-3 payloads) the worker maps its
+    shard's code section instead of decoding it: respawn recovery skips
+    the unpack entirely and the worker's resident footprint is the
+    decoded-block LRU (``cache_bytes``), not the shard.
     """
 
     def __init__(
@@ -305,6 +310,9 @@ class FileShardSource:
         start: int,
         stop: int,
         metric: Any,
+        backing: str = "ram",
+        cache_bytes: Any = None,
+        block_elements: Any = None,
     ):
         self.path = path
         self.shard = shard
@@ -312,13 +320,25 @@ class FileShardSource:
         self.start = start
         self.stop = stop
         self.metric = metric
+        self.backing = backing
+        self.cache_bytes = cache_bytes
+        self.block_elements = block_elements
 
     def load(self):
         from repro.index.serialize import read_shard_payload, restore_shard
 
-        payload = read_shard_payload(self.path, self.shard)
+        payload = read_shard_payload(
+            self.path, self.shard, backing=getattr(self, "backing", "ram")
+        )
         points = self.dataset.resolve()[self.start : self.stop]
-        return restore_shard(payload, points, self.metric, shard=self.shard)
+        return restore_shard(
+            payload,
+            points,
+            self.metric,
+            shard=self.shard,
+            cache_bytes=getattr(self, "cache_bytes", None),
+            block_elements=getattr(self, "block_elements", None),
+        )
 
 
 class BuildShardSource:

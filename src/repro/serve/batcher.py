@@ -394,6 +394,10 @@ class MicroBatcher:
         thread)."""
         op = members[0].op
         queries = _concat_queries([m.queries for m in members])
+        # Engine calls are serialized on this thread, so the cumulative
+        # reply_bytes counter only moves between these two reads — the
+        # delta is exactly this batch's reply volume.
+        reply_bytes_before = self.index.stats.reply_bytes
         if op == "knn":
             rows = self.index.knn_batch_arrays(
                 queries, max(m.k for m in members)
@@ -406,6 +410,19 @@ class MicroBatcher:
             rows = self.index.knn_approx_batch_arrays(
                 queries, members[0].k, budget=members[0].budget
             )
+        engine_delta = self.index.stats.reply_bytes - reply_bytes_before
+        if engine_delta <= 0:
+            # Unsharded engines do no worker IPC, so their fan-out
+            # counter never moves; the columnar result itself is the
+            # reply volume then.
+            engine_delta = (
+                rows.distances.nbytes
+                + rows.indices.nbytes
+                + rows.offsets.nbytes
+            )
+        self.stats.note_reply_bytes(
+            engine_delta, self.index.stats.shard_reply_bytes
+        )
         shards_answered = self.index.stats.shards_answered
         n_shards = getattr(self.index, "n_shards", None)
         degraded = (

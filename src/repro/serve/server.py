@@ -279,7 +279,7 @@ class QueryServer:
         if request.op == protocol.OP_STATS:
             return protocol.encode_response(
                 request.request_id, protocol.STATUS_STATS,
-                message=json.dumps(self.stats.snapshot()),
+                message=self.stats.json(),
             )
         error = self._validate_query(request)
         if error is not None:

@@ -17,8 +17,9 @@ percentiles reflect recent behavior rather than the whole lifetime.
 
 from __future__ import annotations
 
+import json
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -55,6 +56,15 @@ class ServerStats:
         self.batch_size_histogram: Dict[int, int] = {}
         #: Current adaptive batching window, seconds (batcher-owned).
         self.current_window_s = 0.0
+        #: Result bytes shipped by the index engine since the server
+        #: started (columnar reply payloads; for sharded indexes this is
+        #: the worker-to-supervisor IPC volume — the memory/IPC pressure
+        #: signal for out-of-core serving).
+        self.reply_bytes = 0
+        #: Per-shard reply bytes of the last sharded fan-out (None for
+        #: unsharded engines; None entries mark shards that sent no
+        #: reply in that fan-out).
+        self.shard_reply_bytes: Optional[Tuple[Optional[int], ...]] = None
         self._coalesce_sum = 0.0
         self._coalesce_count = 0
         self._latencies = np.zeros(latency_window, dtype=np.float64)
@@ -103,6 +113,16 @@ class ServerStats:
 
     def note_error(self) -> None:
         self.requests_errored += 1
+
+    def note_reply_bytes(
+        self,
+        delta: int,
+        shard_reply_bytes: Optional[Tuple[Optional[int], ...]] = None,
+    ) -> None:
+        """Engine reply volume of one batch (delta since the last call)."""
+        self.reply_bytes += int(delta)
+        if shard_reply_bytes is not None:
+            self.shard_reply_bytes = tuple(shard_reply_bytes)
 
     # ------------------------------------------------------------------
     # Derived figures.
@@ -165,4 +185,14 @@ class ServerStats:
             "coalesce_latency_mean_s": self.coalesce_latency_mean_s,
             "latency": self.latency_percentiles(),
             "qps": self.qps,
+            "reply_bytes": self.reply_bytes,
+            "shard_reply_bytes": (
+                None
+                if self.shard_reply_bytes is None
+                else list(self.shard_reply_bytes)
+            ),
         }
+
+    def json(self) -> str:
+        """The snapshot rendered as one JSON object (the STATS reply)."""
+        return json.dumps(self.snapshot())

@@ -1,0 +1,393 @@
+"""The out-of-core engine: mapped code stores and streaming censuses.
+
+Covers the :class:`MappedCodeStore` decode/LRU machinery in isolation,
+the chunked dataset readers, :func:`streaming_census` exactness against
+the in-memory sharded census, mmap-backed sharded loads (including
+resident workers reading their shard sections via :class:`FileShardSource`),
+and the reply-byte accounting satellite on :class:`ServerStats`.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core.bitpack import PackedPermutationStore, pack_ids, unpack_ids
+from repro.core.storage import MappedCodeStore, bits_full_permutation
+from repro.datasets.io import (
+    count_rows,
+    iter_string_chunks,
+    iter_vector_chunks,
+    load_strings,
+    load_vectors,
+    read_string_rows,
+    read_vector_rows,
+    save_strings,
+    save_vectors,
+)
+from repro.index import DistPermIndex, ShardedIndex
+from repro.index.serialize import (
+    PayloadCorruptError,
+    load_sharded,
+    save_sharded,
+)
+from repro.metrics import EuclideanDistance, LevenshteinDistance
+from repro.parallel.census import sharded_census, streaming_census
+from repro.serve.stats import ServerStats
+
+
+def _write_code_section(path, codes, k, *, offset=0):
+    """Pack ``codes`` at the Corollary-8 width and write them at ``offset``."""
+    bit_width = bits_full_permutation(k)
+    packed = pack_ids(codes, bit_width)
+    with open(path, "wb") as handle:
+        handle.write(b"\x00" * offset)
+        handle.write(packed)
+    return bit_width, len(packed)
+
+
+class TestMappedCodeStore:
+    K = 6  # 6! = 720 -> 10-bit codes
+
+    def _store(self, tmp_path, rng, count=400, *, offset=64, **kwargs):
+        codes = rng.integers(0, math.factorial(self.K), size=count,
+                             dtype=np.uint64)
+        path = tmp_path / "codes.bin"
+        bit_width, nbytes = _write_code_section(
+            path, codes, self.K, offset=offset
+        )
+        store = MappedCodeStore(
+            path, offset=offset, nbytes=nbytes, bit_width=bit_width,
+            count=count, k=self.K, **kwargs,
+        )
+        return store, codes
+
+    def test_blocks_decode_identically_to_unpack_ids(self, tmp_path, rng):
+        store, codes = self._store(
+            tmp_path, rng, block_elements=64, cache_bytes=4096
+        )
+        try:
+            got = np.empty(len(store), dtype=np.uint64)
+            for start, stop, block in store.iter_blocks():
+                got[start:stop] = block
+            np.testing.assert_array_equal(got, codes)
+        finally:
+            store.close()
+
+    def test_lru_peak_stays_under_budget(self, tmp_path, rng):
+        # 64-element blocks decode to 512 bytes; a 1024-byte budget
+        # holds two, while the whole store would need 3200 bytes.
+        store, codes = self._store(
+            tmp_path, rng, block_elements=64, cache_bytes=1024
+        )
+        try:
+            assert store.decoded_bytes_total() == 400 * 8
+            for block in range(store.n_blocks):
+                store.codes_block(block)
+            for block in range(store.n_blocks):
+                store.codes_block(block)
+            assert store.peak_cache_bytes <= 1024
+            assert store.current_cache_bytes <= 1024
+            assert store.cache_misses >= store.n_blocks
+        finally:
+            store.close()
+
+    def test_cache_hits_on_repeat_touch(self, tmp_path, rng):
+        store, _ = self._store(
+            tmp_path, rng, block_elements=64, cache_bytes=1 << 16
+        )
+        try:
+            store.codes_block(0)
+            store.codes_block(0)
+            assert store.cache_hits == 1
+            assert store.cache_misses == 1
+        finally:
+            store.close()
+
+    def test_element_random_access(self, tmp_path, rng):
+        store, codes = self._store(
+            tmp_path, rng, block_elements=64, cache_bytes=4096
+        )
+        try:
+            for index in (0, 63, 64, 257, 399):
+                assert store.element(index) == int(codes[index])
+        finally:
+            store.close()
+
+    def test_truncated_section_raises_at_init(self, tmp_path, rng):
+        codes = rng.integers(0, math.factorial(self.K), size=100,
+                             dtype=np.uint64)
+        path = tmp_path / "codes.bin"
+        bit_width, nbytes = _write_code_section(path, codes, self.K)
+        with open(path, "r+b") as handle:
+            handle.truncate(nbytes - 10)
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            MappedCodeStore(
+                path, offset=0, nbytes=nbytes, bit_width=bit_width,
+                count=100, k=self.K,
+            )
+        assert "truncated" in str(excinfo.value)
+        assert excinfo.value.byte_offset == nbytes - 10
+
+    def test_out_of_range_code_raises_on_touch(self, tmp_path, rng):
+        store, _ = self._store(
+            tmp_path, rng, count=256, block_elements=64, cache_bytes=4096
+        )
+        store.close()
+        # Smash bytes covering elements of block 2 (elements 128..191,
+        # 10-bit codes -> byte 160 onward): all-ones decodes to 1023 > 720.
+        path = tmp_path / "codes.bin"
+        blob = bytearray(path.read_bytes())
+        blob[64 + 160:64 + 170] = b"\xff" * 10
+        path.write_bytes(bytes(blob))
+        bit_width = bits_full_permutation(self.K)
+        nbytes = (256 * bit_width + 7) // 8
+        store = MappedCodeStore(
+            path, offset=64, nbytes=nbytes, bit_width=bit_width,
+            count=256, k=self.K, block_elements=64, cache_bytes=4096,
+            shard="s3",
+        )
+        try:
+            store.codes_block(0)  # clean block decodes fine
+            with pytest.raises(PayloadCorruptError) as excinfo:
+                store.codes_block(2)
+            error = excinfo.value
+            assert error.shard == "s3"
+            assert 160 <= error.byte_offset <= 170
+            assert "decodes outside" in str(error)
+        finally:
+            store.close()
+
+    def test_block_elements_validation(self, tmp_path, rng):
+        codes = rng.integers(0, math.factorial(self.K), size=16,
+                             dtype=np.uint64)
+        path = tmp_path / "codes.bin"
+        bit_width, nbytes = _write_code_section(path, codes, self.K)
+        with pytest.raises(ValueError, match="multiple of 8"):
+            MappedCodeStore(
+                path, offset=0, nbytes=nbytes, bit_width=bit_width,
+                count=16, k=self.K, block_elements=12,
+            )
+        with pytest.raises(ValueError, match="cache_bytes"):
+            MappedCodeStore(
+                path, offset=0, nbytes=nbytes, bit_width=bit_width,
+                count=16, k=self.K, block_elements=64, cache_bytes=256,
+            )
+
+    def test_advise_and_close_are_safe(self, tmp_path, rng):
+        store, _ = self._store(tmp_path, rng)
+        store.advise("sequential")
+        store.advise("random")
+        store.advise("normal")
+        with pytest.raises(ValueError):
+            store.advise("psychic")
+        store.close()
+        store.close()  # idempotent
+
+
+class TestPackedStoreFromFile:
+    def test_mapped_ids_decode_identically(self, tmp_path, rng):
+        perms = np.argsort(rng.random((200, 5)), axis=1)
+        ram = PackedPermutationStore.from_permutations(perms)
+        path = tmp_path / "ids.bin"
+        offset = 32
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * offset)
+            handle.write(bytes(ram.packed))
+        mapped = PackedPermutationStore.from_packed_file(
+            path, table_codes=ram.table_codes, k=ram.k,
+            bit_width=ram.bit_width, count=ram.count, offset=offset,
+        )
+        assert mapped.backing == "mmap"
+        np.testing.assert_array_equal(
+            unpack_ids(bytes(mapped.packed), mapped.bit_width, mapped.count),
+            unpack_ids(bytes(ram.packed), ram.bit_width, ram.count),
+        )
+        assert mapped[17] == ram[17]
+
+    def test_short_file_rejected(self, tmp_path, rng):
+        perms = np.argsort(rng.random((50, 4)), axis=1)
+        ram = PackedPermutationStore.from_permutations(perms)
+        path = tmp_path / "ids.bin"
+        path.write_bytes(bytes(ram.packed)[:-4])
+        with pytest.raises(ValueError, match="too short"):
+            PackedPermutationStore.from_packed_file(
+                path, table_codes=ram.table_codes, k=ram.k,
+                bit_width=ram.bit_width, count=ram.count,
+            )
+
+
+class TestChunkedReaders:
+    def test_vector_chunks_concatenate_to_whole_file(self, tmp_path, rng):
+        vectors = rng.random((137, 4))
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, vectors)
+        assert count_rows(path) == 137
+        chunks = list(iter_vector_chunks(path, 32))
+        assert [c.shape[0] for c in chunks] == [32, 32, 32, 32, 9]
+        np.testing.assert_array_equal(
+            np.concatenate(chunks), load_vectors(path)
+        )
+
+    def test_string_chunks_concatenate_to_whole_file(self, tmp_path):
+        words = [f"word{i:03d}" for i in range(75)]
+        path = tmp_path / "words.txt"
+        save_strings(path, words)
+        assert count_rows(path) == 75
+        chunks = list(iter_string_chunks(path, 20))
+        assert [len(c) for c in chunks] == [20, 20, 20, 15]
+        assert [w for chunk in chunks for w in chunk] == load_strings(path)
+
+    def test_row_gather_matches_full_load(self, tmp_path, rng):
+        vectors = rng.random((60, 3))
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, vectors)
+        picked = read_vector_rows(path, [3, 0, 59, 17])
+        np.testing.assert_array_equal(picked, vectors[[3, 0, 59, 17]])
+        words = ["alpha", "beta", "gamma", "delta"]
+        spath = tmp_path / "words.txt"
+        save_strings(spath, words)
+        assert read_string_rows(spath, [2, 0]) == ["gamma", "alpha"]
+
+    def test_row_gather_rejects_out_of_range(self, tmp_path, rng):
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, rng.random((10, 2)))
+        with pytest.raises(IndexError):
+            read_vector_rows(path, [10])
+        with pytest.raises(IndexError):
+            read_vector_rows(path, [-1])
+
+
+def _census_equal(a, b):
+    assert set(a) == set(b)
+    for k in a:
+        np.testing.assert_array_equal(a[k].codes, b[k].codes)
+        np.testing.assert_array_equal(a[k]._counts, b[k]._counts)
+        assert a[k].distinct == b[k].distinct
+        assert a[k].total == b[k].total
+
+
+class TestStreamingCensus:
+    def test_vector_chunks_match_in_memory(self, tmp_path, rng):
+        points = rng.random((150, 3))
+        sites = points[:5]
+        metric = EuclideanDistance()
+        whole, _ = sharded_census(points, sites, metric, ks=[3, 5])
+        path = tmp_path / "vectors.txt"
+        save_vectors(path, points)
+        streamed = streaming_census(
+            iter_vector_chunks(path, 32), sites, metric, ks=[3, 5]
+        )
+        _census_equal(streamed, whole)
+
+    def test_string_chunks_match_in_memory(self, tmp_path, small_words):
+        words = small_words * 6
+        sites = words[:4]
+        metric = LevenshteinDistance()
+        whole, _ = sharded_census(words, sites, metric, ks=[2, 4])
+        path = tmp_path / "words.txt"
+        save_strings(path, words)
+        streamed = streaming_census(
+            iter_string_chunks(path, 25), sites, metric, ks=[2, 4]
+        )
+        _census_equal(streamed, whole)
+
+    def test_parallel_chunks_match_serial(self, rng):
+        points = rng.random((200, 3))
+        sites = points[:4]
+        metric = EuclideanDistance()
+        chunks = [points[i:i + 48] for i in range(0, 200, 48)]
+        serial = streaming_census(iter(chunks), sites, metric, ks=[4])
+        parallel = streaming_census(
+            iter(chunks), sites, metric, ks=[4], workers=2, shards=4
+        )
+        _census_equal(parallel, serial)
+
+    def test_empty_input_yields_empty_census(self):
+        result = streaming_census(
+            iter(()), [], EuclideanDistance(), ks=[3]
+        )
+        assert set(result) == {3}
+        assert result[3].total == 0
+
+
+class TestResidentMmapWorkers:
+    def test_resident_workers_answer_from_mapped_sections(
+        self, tmp_path, rng
+    ):
+        points = rng.random((300, 3))
+        metric = EuclideanDistance()
+        factory = partial(DistPermIndex, n_sites=5, site_strategy="first")
+        queries = rng.random((4, 3))
+        path = tmp_path / "sharded.rpc"
+        with ShardedIndex(points, metric, factory, n_shards=2) as index:
+            expected = [
+                [(n.index, round(n.distance, 9)) for n in batch]
+                for batch in index.knn_approx_batch(queries, 4, budget=40)
+            ]
+            save_sharded(path, index)
+        loaded = load_sharded(
+            path, points, metric, resident=True, backing="mmap",
+            cache_bytes=8192,
+        )
+        try:
+            got = [
+                [(n.index, round(n.distance, 9)) for n in batch]
+                for batch in loaded.knn_approx_batch(queries, 4, budget=40)
+            ]
+            assert got == expected
+        finally:
+            loaded.close()
+
+
+class TestReplyByteStats:
+    def test_unsharded_batcher_counts_columnar_reply_bytes(self, rng):
+        """An unsharded engine does no worker IPC, so the batcher must
+        fall back to the columnar result size — STATS on a plain served
+        index would otherwise report 0 forever."""
+        import asyncio
+
+        from repro.index import LinearScan
+        from repro.serve.batcher import BatchConfig, MicroBatcher
+
+        index = LinearScan(rng.random((200, 4)), EuclideanDistance())
+        queries = rng.random((6, 4))
+
+        async def _main():
+            batcher = MicroBatcher(
+                index, config=BatchConfig(max_batch=6, max_wait_ms=50.0)
+            )
+            batcher.start()
+            try:
+                await batcher.submit("knn", queries, k=3)
+                return batcher.stats.reply_bytes
+            finally:
+                await batcher.drain()
+
+        reply_bytes = asyncio.run(_main())
+        # 6 queries x 3 neighbors: 18 float64 + 18 int64 + 7 offsets.
+        assert reply_bytes == 18 * 8 + 18 * 8 + 7 * 8
+
+    def test_note_reply_bytes_accumulates(self):
+        stats = ServerStats()
+        assert stats.reply_bytes == 0
+        assert stats.shard_reply_bytes is None
+        stats.note_reply_bytes(100)
+        stats.note_reply_bytes(50, (30, None, 20))
+        assert stats.reply_bytes == 150
+        assert stats.shard_reply_bytes == (30, None, 20)
+        snapshot = stats.snapshot()
+        assert snapshot["reply_bytes"] == 150
+        assert snapshot["shard_reply_bytes"] == [30, None, 20]
+
+    def test_json_snapshot_parses(self):
+        import json
+
+        stats = ServerStats()
+        stats.note_reply_bytes(64, (64,))
+        decoded = json.loads(stats.json())
+        assert decoded["reply_bytes"] == 64
+        assert decoded["shard_reply_bytes"] == [64]

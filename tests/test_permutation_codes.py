@@ -263,7 +263,7 @@ class TestCodeBackedSerialization:
             rng=np.random.default_rng(5),
         )
         path = tmp_path / "index.npz"
-        save_distperm(path, index)
+        save_distperm(path, index, version=2)
         bits = bits_full_permutation(k)
         assert bits == 29  # ceil(lg 12!)
         with np.load(path) as data:

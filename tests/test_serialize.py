@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from functools import partial
 
 import numpy as np
@@ -13,6 +14,7 @@ from repro.index.serialize import (
     PayloadCorruptError,
     load_distperm,
     load_sharded,
+    payload_format,
     read_shard_payload,
     save_distperm,
     save_sharded,
@@ -183,13 +185,14 @@ def _rewrite_npz(path, mutate):
 
 
 class TestCorruptPayloads:
-    """Damaged payloads must fail as :class:`PayloadCorruptError` naming
-    the shard key and byte offset, not as a bare numpy shape error."""
+    """Damaged v2 payloads must fail as :class:`PayloadCorruptError`
+    naming the shard key and byte offset, not as a bare numpy shape
+    error.  These tests rewrite npz members, so they pin ``version=2``."""
 
     def test_truncated_stream(self, tmp_path, built):
         points, index = built
         path = tmp_path / "index.npz"
-        save_distperm(path, index)
+        save_distperm(path, index, version=2)
 
         def truncate(arrays):
             arrays["codes_packed"] = arrays["codes_packed"][:-3]
@@ -206,7 +209,7 @@ class TestCorruptPayloads:
     def test_bit_flipped_stream(self, tmp_path, built):
         points, index = built
         path = tmp_path / "index.npz"
-        save_distperm(path, index)
+        save_distperm(path, index, version=2)
         # k=7: 13-bit codes against 7! = 5040, so an all-ones element
         # (8191) decodes out of range.  Smash a mid-stream byte run —
         # every element fully inside it becomes all-ones.
@@ -227,7 +230,7 @@ class TestCorruptPayloads:
     def test_wrong_width_stream(self, tmp_path, built):
         points, index = built
         path = tmp_path / "index.npz"
-        save_distperm(path, index)
+        save_distperm(path, index, version=2)
 
         def widen(arrays):
             arrays["bit_width"] = np.int64(int(arrays["bit_width"]) + 3)
@@ -246,7 +249,7 @@ class TestCorruptPayloads:
         with ShardedIndex(
             points, EuclideanDistance(), factory, n_shards=3
         ) as index:
-            save_sharded(path, index)
+            save_sharded(path, index, version=2)
 
         def truncate_s1(arrays):
             arrays["s1_codes_packed"] = arrays["s1_codes_packed"][:-2]
@@ -264,9 +267,272 @@ class TestCorruptPayloads:
         with ShardedIndex(
             points, EuclideanDistance(), factory, n_shards=2
         ) as index:
-            save_sharded(path, index)
+            save_sharded(path, index, version=2)
             saved_count = int(len(index.shards[1].points))
         payload = read_shard_payload(path, 1)
         assert int(payload["count"]) == saved_count
         with pytest.raises(ValueError, match="no shard s7"):
             read_shard_payload(path, 7)
+
+
+class TestV3Payloads:
+    """The v3 page-aligned container: round trips under both backings,
+    v2 compatibility, and corruption surfaced as PayloadCorruptError."""
+
+    def _signatures(self, batches):
+        return [
+            [(n.index, round(n.distance, 9)) for n in batch]
+            for batch in batches
+        ]
+
+    def test_v3_is_the_default_format(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        assert payload_format(path) == 3
+        with open(path, "rb") as handle:
+            assert handle.read(8) == b"RPRMCOD3"
+
+    def test_mmap_backing_answers_identically(self, tmp_path, built, rng):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        ram = load_distperm(path, points, EuclideanDistance())
+        mapped = load_distperm(
+            path, points, EuclideanDistance(), backing="mmap",
+            cache_bytes=4096, block_elements=64,
+        )
+        try:
+            assert mapped.backing == "mmap"
+            assert ram.backing == "ram"
+            queries = rng.random((6, 3))
+            assert self._signatures(
+                mapped.knn_approx_batch(queries, 5, budget=60)
+            ) == self._signatures(ram.knn_approx_batch(queries, 5, budget=60))
+            query = rng.random(3)
+            np.testing.assert_array_equal(
+                mapped.candidate_order(query), ram.candidate_order(query)
+            )
+            np.testing.assert_array_equal(
+                mapped.query_footrules([query], 10),
+                ram.query_footrules([query], 10),
+            )
+            np.testing.assert_array_equal(
+                mapped.permutations, ram.permutations
+            )
+            assert mapped.unique_permutations() == ram.unique_permutations()
+            assert mapped.packed().packed == ram.packed().packed
+        finally:
+            mapped.close()
+
+    def test_mmap_residency_stays_under_budget(self, tmp_path, built, rng):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        mapped = load_distperm(
+            path, points, EuclideanDistance(), backing="mmap",
+            cache_bytes=2048, block_elements=64,
+        )
+        try:
+            store = mapped.code_store
+            # Decoded total (400 codes x 8 bytes) dwarfs the budget.
+            assert store.decoded_bytes_total() >= 2048
+            mapped.knn_approx_batch(rng.random((4, 3)), 5, budget=60)
+            assert store.peak_cache_bytes <= 2048
+            assert store.cache_misses > 0
+        finally:
+            mapped.close()
+
+    def test_add_points_rejected_on_mmap(self, tmp_path, built, rng):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        mapped = load_distperm(
+            path, points, EuclideanDistance(), backing="mmap"
+        )
+        try:
+            with pytest.raises(RuntimeError, match="backing='ram'"):
+                mapped.add_points(rng.random((3, 3)))
+        finally:
+            mapped.close()
+
+    def test_v2_still_loads_ram_backed(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index, version=2)
+        assert payload_format(path) == 2
+        loaded = load_distperm(path, points, EuclideanDistance())
+        assert loaded.backing == "ram"
+        np.testing.assert_array_equal(loaded.permutations, index.permutations)
+
+    def test_v2_mmap_rejected(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.npz"
+        save_distperm(path, index, version=2)
+        with pytest.raises(ValueError, match="version=3"):
+            load_distperm(path, points, EuclideanDistance(), backing="mmap")
+
+    @pytest.mark.parametrize("backing", ["ram", "mmap"])
+    def test_truncated_v3_code_section(self, tmp_path, built, backing):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        blob = path.read_bytes()
+        # The code section occupies the final page (with zero padding);
+        # cut deep enough to remove real code bytes, not just padding.
+        path.write_bytes(blob[:-4000])
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_distperm(
+                path, points, EuclideanDistance(), backing=backing
+            )
+        error = excinfo.value
+        assert error.shard is None
+        assert error.byte_offset >= 0
+        assert "truncated" in str(error)
+        assert "byte offset" in str(error)
+
+    @pytest.mark.parametrize("backing", ["ram", "mmap"])
+    def test_bit_flipped_v3_code_section(self, tmp_path, built, backing):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        # Smash a byte run in the middle of the code section; k=7 gives
+        # 13-bit codes, so an all-ones element decodes outside 7!.
+        blob = bytearray(path.read_bytes())
+        section_start = len(blob) - 4096  # last page holds the codes
+        blob[section_start + 160:section_start + 166] = b"\xff" * 6
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_distperm(
+                path, points, EuclideanDistance(), backing=backing
+            )
+        error = excinfo.value
+        assert error.shard is None
+        assert error.byte_offset > 0
+        assert "decodes outside" in str(error)
+
+    @pytest.mark.parametrize("backing", ["ram", "mmap"])
+    def test_wrong_width_v3_header(self, tmp_path, built, backing):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        blob = path.read_bytes()
+        header_len = int.from_bytes(blob[8:16], "little")
+        header = json.loads(blob[16:16 + header_len].decode("ascii"))
+        shard_meta = header["shards"][0]
+        shard_meta["codes"]["bit_width"] = shard_meta["codes"]["bit_width"] + 3
+        raw = json.dumps(header).encode("ascii")
+        # Rewriting in place needs the same header length: pad with
+        # spaces (valid JSON whitespace) up to the original size.
+        assert len(raw) <= header_len
+        raw = raw + b" " * (header_len - len(raw))
+        path.write_bytes(blob[:16] + raw + blob[16 + header_len:])
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_distperm(
+                path, points, EuclideanDistance(), backing=backing
+            )
+        error = excinfo.value
+        assert error.byte_offset == 0  # header-level damage
+        assert "width" in str(error)
+
+    def test_bad_magic_is_unrecognized(self, tmp_path, built):
+        points, index = built
+        path = tmp_path / "index.rpc"
+        save_distperm(path, index)
+        blob = bytearray(path.read_bytes())
+        blob[0:4] = b"XXXX"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="not a recognized"):
+            load_distperm(path, points, EuclideanDistance())
+
+
+class TestV3Sharded:
+    def _build(self, points, n_shards=3):
+        factory = partial(DistPermIndex, n_sites=5, site_strategy="first")
+        return ShardedIndex(
+            points, EuclideanDistance(), factory, n_shards=n_shards
+        )
+
+    def _signatures(self, batches):
+        return [
+            [(n.index, round(n.distance, 9)) for n in batch]
+            for batch in batches
+        ]
+
+    def test_sharded_v3_roundtrip_both_backings(self, tmp_path, built, rng):
+        points, _ = built
+        path = tmp_path / "sharded.rpc"
+        with self._build(points) as index:
+            save_sharded(path, index)
+            queries = rng.random((5, 3))
+            fresh = self._signatures(
+                index.knn_approx_batch(queries, 5, budget=60)
+            )
+        assert payload_format(path) == 3
+        with load_sharded(path, points, EuclideanDistance()) as ram:
+            assert self._signatures(
+                ram.knn_approx_batch(queries, 5, budget=60)
+            ) == fresh
+        with load_sharded(
+            path, points, EuclideanDistance(), backing="mmap",
+            cache_bytes=4096,
+        ) as mapped:
+            assert all(s.backing == "mmap" for s in mapped.shards)
+            assert self._signatures(
+                mapped.knn_approx_batch(queries, 5, budget=60)
+            ) == fresh
+
+    def test_sharded_v3_error_names_the_shard(self, tmp_path, built):
+        points, _ = built
+        path = tmp_path / "sharded.rpc"
+        with self._build(points) as index:
+            save_sharded(path, index)
+        blob = path.read_bytes()
+        header_len = int.from_bytes(blob[8:16], "little")
+        header = json.loads(blob[16:16 + header_len].decode("ascii"))
+        shard_meta = header["shards"][1]
+        # +2 keeps the value single-digit (7 -> 9) so the rewritten
+        # header still fits in the original byte span.
+        shard_meta["codes"]["bit_width"] = shard_meta["codes"]["bit_width"] + 2
+        raw = json.dumps(header).encode("ascii")
+        assert len(raw) <= header_len
+        raw = raw + b" " * (header_len - len(raw))
+        path.write_bytes(blob[:16] + raw + blob[16 + header_len:])
+        with pytest.raises(PayloadCorruptError) as excinfo:
+            load_sharded(path, points, EuclideanDistance())
+        assert excinfo.value.shard == "s1"
+        assert "[s1," in str(excinfo.value)
+
+    def test_read_shard_payload_v3(self, tmp_path, built):
+        points, _ = built
+        path = tmp_path / "sharded.rpc"
+        with self._build(points, n_shards=2) as index:
+            save_sharded(path, index)
+            saved_count = int(len(index.shards[1].points))
+        payload = read_shard_payload(path, 1)
+        assert int(payload["count"]) == saved_count
+        assert "codes_packed" in payload
+        mapped = read_shard_payload(path, 1, backing="mmap")
+        assert int(mapped["count"]) == saved_count
+        section = mapped["codes_section"]
+        assert section["path"] == str(path)
+        assert section["nbytes"] > 0
+        with pytest.raises(ValueError, match="no shard s7"):
+            read_shard_payload(path, 7)
+
+    def test_member_table_cache_survives_rewrites(self, tmp_path, built):
+        """The offset-table cache keys on (path, size, mtime): a rewrite
+        with different contents must not serve stale offsets."""
+        points, _ = built
+        path = tmp_path / "sharded.rpc"
+        with self._build(points, n_shards=2) as index:
+            save_sharded(path, index)
+        first = read_shard_payload(path, 0)
+        with self._build(points, n_shards=3) as index:
+            save_sharded(path, index)
+        # Three shards now — shard 2 exists only in the rewritten file,
+        # and shard 0 shrank; stale cached offsets would miss both.
+        payload = read_shard_payload(path, 2)
+        assert int(payload["count"]) > 0
+        again = read_shard_payload(path, 0)
+        assert int(again["count"]) < int(first["count"])
